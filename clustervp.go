@@ -1,0 +1,145 @@
+// Package clustervp is the public API of the reproduction of
+// "Reducing Wire Delay Penalty through Value Prediction" (Parcerisa &
+// González, MICRO-33, 2000).
+//
+// The package wraps the internal substrates — workload kernels, the
+// trace-driven clustered out-of-order timing simulator, the stride value
+// predictor and the steering heuristics — behind three calls:
+//
+//	cfg := clustervp.Preset(4).WithVP(clustervp.VPStride).WithSteering(clustervp.SteerVPB)
+//	res, err := clustervp.Run(cfg, "gsmdec", 1)
+//	suite, err := clustervp.RunSuite(cfg, 1)
+//
+// Results carry IPC, communications per instruction, workload imbalance
+// and predictor statistics; see the stats re-exports below.
+package clustervp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"clustervp/internal/config"
+	"clustervp/internal/core"
+	"clustervp/internal/program"
+	"clustervp/internal/stats"
+	"clustervp/internal/workload"
+)
+
+// Config is the machine configuration (Table 1 presets plus knobs).
+type Config = config.Config
+
+// Results is the statistics record of one simulation run.
+type Results = stats.Results
+
+// Steering scheme selectors (§3).
+const (
+	SteerBaseline = config.SteerBaseline
+	SteerModified = config.SteerModified
+	SteerVPB      = config.SteerVPB
+)
+
+// Value predictor selectors (§2.2; VPTwoDelta is the extension the
+// paper's conclusion anticipates).
+const (
+	VPNone     = config.VPNone
+	VPStride   = config.VPStride
+	VPPerfect  = config.VPPerfect
+	VPTwoDelta = config.VPTwoDelta
+)
+
+// Alternative steering baselines for the §5 related-work comparisons.
+const (
+	SteerRoundRobin = config.SteerRoundRobin
+	SteerLoadOnly   = config.SteerLoadOnly
+	SteerDepFIFO    = config.SteerDepFIFO
+)
+
+// Preset returns the paper's Table 1 machine for 1, 2 or 4 clusters.
+func Preset(clusters int) Config { return config.Preset(clusters) }
+
+// Kernels lists the benchmark suite (Table 2 names).
+func Kernels() []string { return workload.Names() }
+
+// KernelInfo describes one benchmark.
+type KernelInfo struct {
+	Name        string
+	Category    string
+	Description string
+	FPHeavy     bool
+}
+
+// KernelInfos returns suite metadata in Table 2 order.
+func KernelInfos() []KernelInfo {
+	ks := workload.All()
+	out := make([]KernelInfo, len(ks))
+	for i, k := range ks {
+		out[i] = KernelInfo{Name: k.Name, Category: k.Category, Description: k.Description, FPHeavy: k.FPHeavy}
+	}
+	return out
+}
+
+// BuildKernel assembles a suite kernel at the given scale (exposed for
+// custom experiments and the trace tools).
+func BuildKernel(name string, scale int) (*program.Program, error) {
+	k, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return k.Build(scale), nil
+}
+
+// Run simulates one suite kernel under cfg at the given workload scale
+// (1 = tens of thousands of dynamic instructions).
+func Run(cfg Config, kernel string, scale int) (Results, error) {
+	prog, err := BuildKernel(kernel, scale)
+	if err != nil {
+		return Results{}, err
+	}
+	return RunProgram(cfg, prog)
+}
+
+// RunProgram simulates an arbitrary assembled program under cfg.
+func RunProgram(cfg Config, prog *program.Program) (Results, error) {
+	sim, err := core.New(cfg, prog)
+	if err != nil {
+		return Results{}, err
+	}
+	return sim.Run()
+}
+
+// RunSuite simulates every Table 2 kernel under cfg (in parallel) and
+// returns per-kernel results in suite order.
+func RunSuite(cfg Config, scale int) ([]Results, error) {
+	kernels := workload.All()
+	out := make([]Results, len(kernels))
+	errs := make([]error, len(kernels))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, k := range kernels {
+		wg.Add(1)
+		go func(i int, k workload.Kernel) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = Run(cfg, k.Name, scale)
+		}(i, k)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", kernels[i].Name, err)
+		}
+	}
+	return out, nil
+}
+
+// Aggregate folds per-kernel results into a suite summary whose IPC is
+// the instruction-weighted suite IPC.
+func Aggregate(name string, rs []Results) Results { return stats.Aggregate(name, rs) }
+
+// IPCR is the paper's normalized N-cluster IPC ratio (§2.4).
+func IPCR(clustered, centralized Results) float64 { return stats.IPCR(clustered, centralized) }

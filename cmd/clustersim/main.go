@@ -1,0 +1,93 @@
+// Command clustersim runs one benchmark under one machine configuration
+// and prints the full statistics record.
+//
+// Usage:
+//
+//	clustersim -kernel gsmdec -clusters 4 -vp stride -steer vpb \
+//	           -commlat 1 -paths 0 -vptable 131072 -scale 1
+//
+// Examples:
+//
+//	clustersim -kernel cjpeg -clusters 1                      # centralized
+//	clustersim -kernel cjpeg -clusters 4 -vp stride -steer vpb
+//	clustersim -kernel mpeg2enc -clusters 4 -commlat 4        # slow wires
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"clustervp"
+)
+
+func main() {
+	kernel := flag.String("kernel", "gsmdec", "benchmark kernel (see -list)")
+	list := flag.Bool("list", false, "list available kernels and exit")
+	clusters := flag.Int("clusters", 4, "number of clusters (1, 2 or 4)")
+	vp := flag.String("vp", "none", "value predictor: none, stride, perfect")
+	steerKind := flag.String("steer", "baseline", "steering: baseline, modified, vpb")
+	commlat := flag.Int("commlat", 1, "inter-cluster communication latency (cycles)")
+	paths := flag.Int("paths", 0, "inter-cluster paths per cluster (0 = unbounded)")
+	vptable := flag.Int("vptable", 128*1024, "value prediction table entries")
+	rename := flag.Int("rename", 1, "rename/steer stage depth in cycles")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	flag.Parse()
+
+	if *list {
+		for _, k := range clustervp.KernelInfos() {
+			fmt.Printf("%-12s %-12s %s\n", k.Name, k.Category, k.Description)
+		}
+		return
+	}
+
+	cfg := clustervp.Preset(*clusters).WithComm(*commlat, *paths).WithVPTable(*vptable)
+	cfg.RenameCycles = *rename
+	switch strings.ToLower(*vp) {
+	case "none":
+	case "stride":
+		cfg = cfg.WithVP(clustervp.VPStride)
+	case "perfect":
+		cfg = cfg.WithVP(clustervp.VPPerfect)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -vp %q\n", *vp)
+		os.Exit(2)
+	}
+	switch strings.ToLower(*steerKind) {
+	case "baseline":
+	case "modified":
+		cfg = cfg.WithSteering(clustervp.SteerModified)
+	case "vpb":
+		cfg = cfg.WithSteering(clustervp.SteerVPB)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -steer %q\n", *steerKind)
+		os.Exit(2)
+	}
+
+	r, err := clustervp.Run(cfg, *kernel, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark            %s\n", r.Benchmark)
+	fmt.Printf("configuration        %s (vp=%s steer=%s commlat=%d paths=%d)\n",
+		cfg.Name, *vp, *steerKind, *commlat, *paths)
+	fmt.Printf("cycles               %d\n", r.Cycles)
+	fmt.Printf("instructions         %d\n", r.Instructions)
+	fmt.Printf("IPC                  %.4f\n", r.IPC())
+	fmt.Printf("copies               %d\n", r.Copies)
+	fmt.Printf("verification-copies  %d\n", r.VerifyCopies)
+	fmt.Printf("bus transfers        %d (%.4f per instruction)\n", r.BusTransfers, r.CommPerInstr())
+	fmt.Printf("bus stalls           %d\n", r.BusStalls)
+	fmt.Printf("workload imbalance   %.4f (NREADY per cycle)\n", r.Imbalance())
+	fmt.Printf("reissues             %d\n", r.Reissues)
+	fmt.Printf("predicted operands   %d used, %d wrong\n", r.PredictedOperandsUsed, r.PredictedOperandsWrong)
+	fmt.Printf("VP lookups           %d (%.1f%% confident, hit ratio %.3f)\n",
+		r.VP.Lookups, 100*r.VP.ConfidentFraction(), r.VP.HitRatio())
+	fmt.Printf("branch accuracy      %.4f (%d seen)\n", r.BranchAccuracy(), r.BranchSeen)
+	fmt.Printf("cache misses         L1I=%d L1D=%d L2=%d\n", r.L1IMisses, r.L1DMisses, r.L2Misses)
+	fmt.Printf("dispatch stalls      rob=%d iq=%d regs=%d\n",
+		r.DispatchStallROB, r.DispatchStallIQ, r.DispatchStallRegs)
+}

@@ -1,0 +1,103 @@
+// Command tracegen inspects the workload kernels: it lists the suite
+// (Table 2), disassembles a kernel's static code, or dumps a prefix of
+// its dynamic trace with operand values — useful when developing new
+// kernels or debugging predictor behaviour.
+//
+// Usage:
+//
+//	tracegen -list
+//	tracegen -kernel cjpeg -disasm
+//	tracegen -kernel cjpeg -trace 50
+//	tracegen -kernel cjpeg -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clustervp"
+	"clustervp/internal/isa"
+	"clustervp/internal/trace"
+	"clustervp/internal/workload"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list kernels (Table 2)")
+	kernel := flag.String("kernel", "", "kernel name")
+	disasm := flag.Bool("disasm", false, "print static disassembly")
+	traceN := flag.Int("trace", 0, "print first N dynamic instructions")
+	doStats := flag.Bool("stats", false, "print dynamic instruction mix")
+	scale := flag.Int("scale", 1, "workload scale")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %-12s %-8s %s\n", "name", "category", "fp", "description")
+		for _, k := range clustervp.KernelInfos() {
+			fmt.Printf("%-12s %-12s %-8v %s\n", k.Name, k.Category, k.FPHeavy, k.Description)
+		}
+		return
+	}
+	if *kernel == "" {
+		fmt.Fprintln(os.Stderr, "need -kernel (or -list)")
+		os.Exit(2)
+	}
+	prog, err := clustervp.BuildKernel(*kernel, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *disasm {
+		for pc, in := range prog.Code {
+			fmt.Printf("%5d: %s\n", pc, in)
+		}
+		return
+	}
+	if *traceN > 0 {
+		e := trace.NewExecutor(prog)
+		var d trace.DynInst
+		for i := 0; i < *traceN && e.Next(&d); i++ {
+			line := fmt.Sprintf("%8d pc=%-5d %-28s", d.Seq, d.PC, d.Inst.String())
+			for j, r := range d.Inst.Sources() {
+				line += fmt.Sprintf(" %s=%d", r, int64(d.SrcVal[j]))
+			}
+			if _, ok := d.Inst.Dest(); ok {
+				line += fmt.Sprintf(" -> %d", int64(d.DstVal))
+			}
+			if d.Info().IsLoad || d.Info().IsStore {
+				line += fmt.Sprintf(" @%#x", d.Addr)
+			}
+			fmt.Println(line)
+		}
+		return
+	}
+	if *doStats {
+		k, err := workload.ByName(*kernel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		e := trace.NewExecutor(k.Build(*scale))
+		var d trace.DynInst
+		var total uint64
+		byClass := map[isa.Class]uint64{}
+		byOp := map[isa.Opcode]uint64{}
+		for e.Next(&d) {
+			total++
+			byClass[d.Info().Class]++
+			byOp[d.Inst.Op]++
+		}
+		if err := e.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d dynamic instructions, %d static\n", *kernel, total, len(prog.Code))
+		for _, c := range []isa.Class{isa.ClassIntALU, isa.ClassIntMulDiv, isa.ClassMem, isa.ClassFPALU, isa.ClassFPMulDiv} {
+			fmt.Printf("  %-10s %8d (%.1f%%)\n", c, byClass[c], 100*float64(byClass[c])/float64(total))
+		}
+		return
+	}
+	fmt.Fprintln(os.Stderr, "nothing to do: pass -disasm, -trace N or -stats")
+	os.Exit(2)
+}

@@ -1,0 +1,51 @@
+// latency_sweep: the §4 sensitivity study as a library client — sweep
+// inter-cluster wire latency and bandwidth and show how value prediction
+// shields the clustered machine from slow wires (Figures 4a/4b).
+//
+//	go run ./examples/latency_sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clustervp"
+)
+
+func suiteIPC(cfg clustervp.Config) float64 {
+	rs, err := clustervp.RunSuite(cfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return clustervp.Aggregate(cfg.Name, rs).IPC()
+}
+
+func main() {
+	fmt.Println("IPC vs inter-cluster latency (4 clusters, unbounded bandwidth)")
+	fmt.Printf("%-10s %12s %12s %10s\n", "latency", "no predict", "VPB+stride", "VP shield")
+	base1 := 0.0
+	vp1 := 0.0
+	for _, lat := range []int{1, 2, 4} {
+		noVP := suiteIPC(clustervp.Preset(4).WithComm(lat, 0))
+		vp := suiteIPC(clustervp.Preset(4).WithComm(lat, 0).
+			WithVP(clustervp.VPStride).WithSteering(clustervp.SteerVPB))
+		if lat == 1 {
+			base1, vp1 = noVP, vp
+		}
+		fmt.Printf("%-10d %12.3f %12.3f %9.1f%%\n", lat, noVP, vp, 100*(vp/noVP-1))
+	}
+	fmt.Printf("\nIPC lost going 1 -> 4 cycles: no-predict %.1f%%, with VP %.1f%%\n",
+		100*(1-suiteIPC(clustervp.Preset(4).WithComm(4, 0))/base1),
+		100*(1-suiteIPC(clustervp.Preset(4).WithComm(4, 0).WithVP(clustervp.VPStride).WithSteering(clustervp.SteerVPB))/vp1))
+
+	fmt.Println("\nIPC vs bandwidth (latency 1):")
+	fmt.Printf("%-16s %12s\n", "paths/cluster", "VPB+stride")
+	for _, b := range []int{1, 2, 4, 0} {
+		label := fmt.Sprint(b)
+		if b == 0 {
+			label = "unbounded"
+		}
+		fmt.Printf("%-16s %12.3f\n", label,
+			suiteIPC(clustervp.Preset(4).WithComm(1, b).WithVP(clustervp.VPStride).WithSteering(clustervp.SteerVPB)))
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: simulate one benchmark on the paper's 4-cluster machine,
+// with and without value prediction, and print the headline metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clustervp"
+)
+
+func main() {
+	kernel := "gsmdec" // GSM speech decoder: a serial IIR filter
+
+	// The paper's Table 1 4-cluster machine, baseline steering, no VP.
+	base, err := clustervp.Run(clustervp.Preset(4), kernel, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The same machine with the stride value predictor and the VPB
+	// steering scheme (§3.3).
+	vpb := clustervp.Preset(4).
+		WithVP(clustervp.VPStride).
+		WithSteering(clustervp.SteerVPB)
+	pred, err := clustervp.Run(vpb, kernel, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A centralized reference for the IPCR ratio (§2.4).
+	central, err := clustervp.Run(clustervp.Preset(1), kernel, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark: %s (%d instructions)\n\n", kernel, base.Instructions)
+	fmt.Printf("%-28s %10s %12s %8s\n", "configuration", "IPC", "comm/instr", "IPCR")
+	fmt.Printf("%-28s %10.3f %12s %8s\n", "1 cluster", central.IPC(), "-", "1.000")
+	fmt.Printf("%-28s %10.3f %12.4f %8.3f\n", "4 clusters, no prediction",
+		base.IPC(), base.CommPerInstr(), clustervp.IPCR(base, central))
+	fmt.Printf("%-28s %10.3f %12.4f %8.3f\n", "4 clusters, VPB + stride VP",
+		pred.IPC(), pred.CommPerInstr(), clustervp.IPCR(pred, central))
+	fmt.Printf("\nvalue predictor: %.1f%% of operands confident, hit ratio %.3f\n",
+		100*pred.VP.ConfidentFraction(), pred.VP.HitRatio())
+	fmt.Printf("communication reduced %.0f%% by predicting values across clusters\n",
+		100*(1-pred.CommPerInstr()/base.CommPerInstr()))
+}

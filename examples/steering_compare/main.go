@@ -1,0 +1,51 @@
+// steering_compare: evaluate the three steering schemes of §3 (Baseline,
+// Modified, VPB) across the whole MediaBench-like suite on the 4-cluster
+// machine and show the communication/balance trade-off each makes.
+//
+//	go run ./examples/steering_compare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clustervp"
+)
+
+func main() {
+	schemes := []struct {
+		name string
+		cfg  clustervp.Config
+	}{
+		{"baseline, no prediction", clustervp.Preset(4)},
+		{"baseline + stride VP", clustervp.Preset(4).WithVP(clustervp.VPStride)},
+		{"modified (M1+M2) + VP", clustervp.Preset(4).WithVP(clustervp.VPStride).WithSteering(clustervp.SteerModified)},
+		{"VPB + stride VP", clustervp.Preset(4).WithVP(clustervp.VPStride).WithSteering(clustervp.SteerVPB)},
+		{"VPB + perfect VP", clustervp.Preset(4).WithVP(clustervp.VPPerfect).WithSteering(clustervp.SteerVPB)},
+	}
+
+	fmt.Printf("%-26s %8s %12s %11s %10s\n", "steering", "IPC", "comm/instr", "imbalance", "reissues")
+	for _, s := range schemes {
+		rs, err := clustervp.RunSuite(s.cfg, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agg := clustervp.Aggregate(s.name, rs)
+		fmt.Printf("%-26s %8.3f %12.4f %11.3f %10d\n",
+			s.name, agg.IPC(), agg.CommPerInstr(), agg.Imbalance(), agg.Reissues)
+	}
+
+	fmt.Println("\nper-benchmark IPC, baseline vs VPB:")
+	base, err := clustervp.RunSuite(clustervp.Preset(4), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vpb, err := clustervp.RunSuite(clustervp.Preset(4).WithVP(clustervp.VPStride).WithSteering(clustervp.SteerVPB), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, name := range clustervp.Kernels() {
+		delta := 100 * (vpb[i].IPC() - base[i].IPC()) / base[i].IPC()
+		fmt.Printf("  %-12s %6.3f -> %6.3f  (%+5.1f%%)\n", name, base[i].IPC(), vpb[i].IPC(), delta)
+	}
+}

@@ -1,0 +1,232 @@
+// Package cache models the memory hierarchy of the paper's Table 1: split
+// 64KB 2-way L1 instruction and data caches with 32-byte lines and 1-cycle
+// hits, a unified 256KB 4-way L2 with 64-byte lines and 6-cycle hits, and
+// a main memory reached over a bus with an 18-cycle first chunk and
+// 2-cycle inter-chunk latency.
+//
+// The model is a latency oracle: Access(addr) returns the number of cycles
+// until the data is available and updates LRU/tag state. Port contention
+// on the L1 D-cache (3 read/write ports) is enforced by the issue stage in
+// internal/core, not here.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// LineBytes is the line (block) size.
+	LineBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// HitLatency is the access time on a hit, in cycles.
+	HitLatency int
+}
+
+// Validate checks internal consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache %s: non-positive geometry", c.Name)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Assoc) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible by line*assoc", c.Name, c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Assoc)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	return nil
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	cfg     Config
+	sets    int
+	setMask uint64
+	lineSh  uint
+	// tags[set][way]; lru[set][way] holds recency (higher = more recent).
+	tags  [][]uint64
+	valid [][]bool
+	lru   [][]uint64
+	clock uint64
+
+	// Stats.
+	Accesses uint64
+	Misses   uint64
+}
+
+// New builds a cache from cfg; it panics on invalid geometry (a
+// configuration bug, not a runtime condition).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
+	c := &Cache{cfg: cfg, sets: sets, setMask: uint64(sets - 1)}
+	for sh := cfg.LineBytes; sh > 1; sh >>= 1 {
+		c.lineSh++
+	}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for i := 0; i < sets; i++ {
+		c.tags[i] = make([]uint64, cfg.Assoc)
+		c.valid[i] = make([]bool, cfg.Assoc)
+		c.lru[i] = make([]uint64, cfg.Assoc)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Probe reports whether addr currently hits, without changing state.
+func (c *Cache) Probe(addr uint64) bool {
+	set := (addr >> c.lineSh) & c.setMask
+	tag := addr >> c.lineSh
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup accesses addr, updating LRU and filling on miss. It returns true
+// on a hit.
+func (c *Cache) Lookup(addr uint64) bool {
+	c.Accesses++
+	c.clock++
+	set := (addr >> c.lineSh) & c.setMask
+	tag := addr >> c.lineSh
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.lru[set][w] = c.clock
+			return true
+		}
+	}
+	c.Misses++
+	// Fill the LRU way.
+	victim := 0
+	for w := 1; w < c.cfg.Assoc; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			break
+		}
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	if !c.valid[set][victim] {
+		// Prefer any invalid way over the LRU valid one.
+		for w := 0; w < c.cfg.Assoc; w++ {
+			if !c.valid[set][w] {
+				victim = w
+				break
+			}
+		}
+	}
+	c.tags[set][victim] = tag
+	c.valid[set][victim] = true
+	c.lru[set][victim] = c.clock
+	return false
+}
+
+// MissRatio returns misses/accesses (0 when idle).
+func (c *Cache) MissRatio() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// MemoryConfig models the main-memory bus: FirstChunk cycles for the
+// first ChunkBytes of a line, InterChunk cycles for each additional chunk.
+type MemoryConfig struct {
+	FirstChunk int
+	InterChunk int
+	ChunkBytes int
+}
+
+// Latency returns the cycles to transfer lineBytes from memory.
+func (m MemoryConfig) Latency(lineBytes int) int {
+	if m.ChunkBytes <= 0 {
+		return m.FirstChunk
+	}
+	chunks := (lineBytes + m.ChunkBytes - 1) / m.ChunkBytes
+	if chunks < 1 {
+		chunks = 1
+	}
+	return m.FirstChunk + (chunks-1)*m.InterChunk
+}
+
+// Hierarchy bundles L1I, L1D, L2 and memory into the latency oracle used
+// by the timing core.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+	Mem MemoryConfig
+}
+
+// DefaultHierarchy returns the paper's Table 1 hierarchy.
+func DefaultHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1I: New(Config{Name: "L1I", SizeBytes: 64 * 1024, LineBytes: 32, Assoc: 2, HitLatency: 1}),
+		L1D: New(Config{Name: "L1D", SizeBytes: 64 * 1024, LineBytes: 32, Assoc: 2, HitLatency: 1}),
+		L2:  New(Config{Name: "L2", SizeBytes: 256 * 1024, LineBytes: 64, Assoc: 4, HitLatency: 6}),
+		Mem: MemoryConfig{FirstChunk: 18, InterChunk: 2, ChunkBytes: 8},
+	}
+}
+
+// InstAccess returns the latency in cycles to fetch the instruction line
+// at byte address addr.
+func (h *Hierarchy) InstAccess(addr uint64) int {
+	if h.L1I.Lookup(addr) {
+		return h.L1I.Config().HitLatency
+	}
+	return h.L1I.Config().HitLatency + h.l2Access(addr)
+}
+
+// DataAccess returns the latency in cycles to load the data at byte
+// address addr (stores use the same path for line allocation).
+func (h *Hierarchy) DataAccess(addr uint64) int {
+	if h.L1D.Lookup(addr) {
+		return h.L1D.Config().HitLatency
+	}
+	return h.L1D.Config().HitLatency + h.l2Access(addr)
+}
+
+func (h *Hierarchy) l2Access(addr uint64) int {
+	if h.L2.Lookup(addr) {
+		return h.L2.Config().HitLatency
+	}
+	return h.L2.Config().HitLatency + h.Mem.Latency(h.L2.Config().LineBytes)
+}
+
+// Perfect reports a hierarchy where every access hits in L1 (used by
+// tests and idealized-configuration ablations).
+type Perfect struct{ Lat int }
+
+// InstAccess returns the fixed latency.
+func (p Perfect) InstAccess(uint64) int { return p.Lat }
+
+// DataAccess returns the fixed latency.
+func (p Perfect) DataAccess(uint64) int { return p.Lat }
+
+// Oracle is the interface internal/core consumes, satisfied by both
+// Hierarchy and Perfect.
+type Oracle interface {
+	InstAccess(addr uint64) int
+	DataAccess(addr uint64) int
+}
+
+var (
+	_ Oracle = (*Hierarchy)(nil)
+	_ Oracle = Perfect{}
+)

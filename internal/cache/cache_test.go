@@ -1,0 +1,170 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Name: "c", SizeBytes: 64 * 1024, LineBytes: 32, Assoc: 2, HitLatency: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Name: "zero"},
+		{Name: "odd", SizeBytes: 3000, LineBytes: 32, Assoc: 2},
+		{Name: "line", SizeBytes: 64 * 1024, LineBytes: 33, Assoc: 2},
+		{Name: "sets", SizeBytes: 96 * 1024, LineBytes: 32, Assoc: 2},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %s should be invalid", c.Name)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 1024, LineBytes: 32, Assoc: 2, HitLatency: 1})
+	if c.Lookup(0x100) {
+		t.Error("cold access must miss")
+	}
+	if !c.Lookup(0x100) {
+		t.Error("second access must hit")
+	}
+	if !c.Lookup(0x11F) {
+		t.Error("same line must hit")
+	}
+	if c.Lookup(0x120) {
+		t.Error("next line must miss")
+	}
+	if c.Accesses != 4 || c.Misses != 2 {
+		t.Errorf("stats = %d/%d, want 2/4", c.Misses, c.Accesses)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way, 32B lines, 2 sets => set stride 64.
+	c := New(Config{Name: "t", SizeBytes: 128, LineBytes: 32, Assoc: 2, HitLatency: 1})
+	a, b, d := uint64(0), uint64(64), uint64(128) // all map to set 0
+	c.Lookup(a)
+	c.Lookup(b)
+	c.Lookup(a) // a most recent
+	c.Lookup(d) // evicts b (LRU)
+	if !c.Probe(a) {
+		t.Error("a should survive")
+	}
+	if c.Probe(b) {
+		t.Error("b should be evicted")
+	}
+	if !c.Probe(d) {
+		t.Error("d should be resident")
+	}
+}
+
+func TestProbeDoesNotTouch(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 128, LineBytes: 32, Assoc: 2, HitLatency: 1})
+	c.Lookup(0)
+	c.Lookup(64)
+	c.Probe(0)    // must NOT refresh LRU of 0
+	c.Lookup(128) // should evict 0 (older than 64)
+	if c.Probe(0) {
+		t.Error("probe must not update recency")
+	}
+	if !c.Probe(64) {
+		t.Error("64 should survive")
+	}
+}
+
+func TestMemoryLatency(t *testing.T) {
+	m := MemoryConfig{FirstChunk: 18, InterChunk: 2, ChunkBytes: 8}
+	if got := m.Latency(64); got != 18+7*2 {
+		t.Errorf("64B line latency = %d, want 32", got)
+	}
+	if got := m.Latency(8); got != 18 {
+		t.Errorf("8B latency = %d, want 18", got)
+	}
+	if got := m.Latency(1); got != 18 {
+		t.Errorf("1B latency = %d, want 18", got)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := DefaultHierarchy()
+	// Cold: L1 miss + L2 miss + memory.
+	want := 1 + 6 + (18 + 7*2)
+	if got := h.DataAccess(0x4000); got != want {
+		t.Errorf("cold data access = %d, want %d", got, want)
+	}
+	// Warm L1.
+	if got := h.DataAccess(0x4000); got != 1 {
+		t.Errorf("warm data access = %d, want 1", got)
+	}
+	// Same L2 line, different L1 line: 64B L2 line covers two 32B L1 lines.
+	if got := h.DataAccess(0x4020); got != 1+6 {
+		t.Errorf("L2-hit access = %d, want 7", got)
+	}
+	// Instruction path: its own L1, but the L2 is unified, so the L2 line
+	// filled by the data access above is an L2 hit for instructions.
+	if got := h.InstAccess(0x4000); got != 1+6 {
+		t.Errorf("inst access after data fill = %d, want 7 (L1I miss, L2 hit)", got)
+	}
+	// A cold address on the instruction path pays the full memory trip.
+	if got := h.InstAccess(0x8000); got != want {
+		t.Errorf("cold inst access = %d, want %d", got, want)
+	}
+}
+
+func TestPerfectOracle(t *testing.T) {
+	p := Perfect{Lat: 1}
+	if p.InstAccess(123) != 1 || p.DataAccess(456) != 1 {
+		t.Error("perfect oracle must return fixed latency")
+	}
+}
+
+func TestMissRatio(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 1024, LineBytes: 32, Assoc: 2, HitLatency: 1})
+	if c.MissRatio() != 0 {
+		t.Error("idle cache must report 0")
+	}
+	c.Lookup(0)
+	c.Lookup(0)
+	if got := c.MissRatio(); got != 0.5 {
+		t.Errorf("miss ratio = %v, want 0.5", got)
+	}
+}
+
+// Property: after Lookup(a), Probe(a) always hits (inclusion of the just
+// accessed line).
+func TestLookupThenProbeProperty(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 4096, LineBytes: 32, Assoc: 4, HitLatency: 1})
+	f := func(addr uint32) bool {
+		a := uint64(addr)
+		c.Lookup(a)
+		return c.Probe(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a direct sweep of more lines than capacity evicts the first
+// line (no phantom retention).
+func TestCapacityEviction(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 1024, LineBytes: 32, Assoc: 2, HitLatency: 1})
+	c.Lookup(0)
+	for a := uint64(32); a < 4096; a += 32 {
+		c.Lookup(a)
+	}
+	if c.Probe(0) {
+		t.Error("line 0 should have been evicted by the sweep")
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New must panic on invalid config")
+		}
+	}()
+	New(Config{Name: "bad", SizeBytes: 100, LineBytes: 32, Assoc: 2})
+}

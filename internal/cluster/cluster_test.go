@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"testing"
+
+	"clustervp/internal/config"
+	"clustervp/internal/isa"
+)
+
+func res4() *Resources {
+	// The paper's 4-cluster per-cluster resources: 2 int (1 mul/div),
+	// 1 fp (1 fp mul/div), issue 2 int / 1 fp.
+	return New(config.Preset(4).Cluster)
+}
+
+func TestIssueWidthLimit(t *testing.T) {
+	r := res4()
+	r.BeginCycle(0)
+	if !r.TryIssue(isa.ClassIntALU, 1, true) || !r.TryIssue(isa.ClassIntALU, 1, true) {
+		t.Fatal("two int issues must fit")
+	}
+	if r.TryIssue(isa.ClassIntALU, 1, true) {
+		t.Error("third int issue must exceed width 2")
+	}
+	// FP width independent.
+	if !r.TryIssue(isa.ClassFPALU, 2, true) {
+		t.Error("fp issue must fit its own width")
+	}
+	if r.TryIssue(isa.ClassFPALU, 2, true) {
+		t.Error("second fp issue must exceed width 1")
+	}
+}
+
+func TestWidthResetsNextCycle(t *testing.T) {
+	r := res4()
+	r.BeginCycle(0)
+	r.TryIssue(isa.ClassIntALU, 1, true)
+	r.TryIssue(isa.ClassIntALU, 1, true)
+	r.BeginCycle(1)
+	if !r.TryIssue(isa.ClassIntALU, 1, true) {
+		t.Error("width must reset each cycle")
+	}
+}
+
+func TestMulDivSubsetLimit(t *testing.T) {
+	r := res4() // 1 mul/div-capable unit
+	r.BeginCycle(0)
+	if !r.TryIssue(isa.ClassIntMulDiv, 3, true) {
+		t.Fatal("one mul must issue")
+	}
+	if r.TryIssue(isa.ClassIntMulDiv, 3, true) {
+		t.Error("second mul must fail: only 1 mul/div unit")
+	}
+	// A plain ALU op still fits (2 int units total).
+	if !r.TryIssue(isa.ClassIntALU, 1, true) {
+		t.Error("plain ALU op must use the second unit")
+	}
+}
+
+func TestDivHoldsUnit(t *testing.T) {
+	r := res4()
+	r.BeginCycle(0)
+	if !r.TryIssue(isa.ClassIntMulDiv, 20, false) { // non-pipelined divide
+		t.Fatal("divide must issue")
+	}
+	// Divider busy for 20 cycles: no mul/div possible.
+	for c := int64(1); c < 20; c++ {
+		r.BeginCycle(c)
+		if r.TryIssue(isa.ClassIntMulDiv, 3, true) {
+			t.Fatalf("cycle %d: divider must still be busy", c)
+		}
+		// The other (non-muldiv) unit still works.
+		if !r.TryIssue(isa.ClassIntALU, 1, true) {
+			t.Fatalf("cycle %d: second ALU must be free", c)
+		}
+	}
+	r.BeginCycle(20)
+	if !r.TryIssue(isa.ClassIntMulDiv, 3, true) {
+		t.Error("divider must be free at cycle 20")
+	}
+}
+
+func TestDivOccupiesUnitAgainstALU(t *testing.T) {
+	r := res4()
+	r.BeginCycle(0)
+	r.TryIssue(isa.ClassIntMulDiv, 20, false)
+	r.BeginCycle(1)
+	// 2 int units, one held by the divide: only one ALU slot left.
+	if !r.TryIssue(isa.ClassIntALU, 1, true) {
+		t.Fatal("one ALU must fit")
+	}
+	if r.TryIssue(isa.ClassIntALU, 1, true) {
+		t.Error("second ALU must fail: unit held by divide")
+	}
+}
+
+func TestFPDivHoldsUnit(t *testing.T) {
+	r := res4()
+	r.BeginCycle(0)
+	if !r.TryIssue(isa.ClassFPMulDiv, 12, false) {
+		t.Fatal("fp divide must issue")
+	}
+	r.BeginCycle(5)
+	if r.TryIssue(isa.ClassFPALU, 2, true) {
+		t.Error("the only FP unit is held by the divide")
+	}
+	r.BeginCycle(12)
+	if !r.TryIssue(isa.ClassFPALU, 2, true) {
+		t.Error("FP unit must be free at cycle 12")
+	}
+}
+
+func TestClassNoneConsumesOnlyWidth(t *testing.T) {
+	r := res4()
+	r.BeginCycle(0)
+	if !r.TryIssue(isa.ClassNone, 1, true) { // a copy instruction
+		t.Fatal("copy must issue")
+	}
+	// Copies consume issue width but not units: one more int op fits and
+	// it can use a real unit.
+	if !r.TryIssue(isa.ClassIntALU, 1, true) {
+		t.Fatal("ALU op must fit beside the copy")
+	}
+	if r.TryIssue(isa.ClassIntALU, 1, true) {
+		t.Error("issue width 2 exhausted by copy + ALU")
+	}
+}
+
+func TestCanIssueDoesNotConsume(t *testing.T) {
+	r := res4()
+	r.BeginCycle(0)
+	for i := 0; i < 5; i++ {
+		if !r.CanIssue(isa.ClassIntALU, 1, true) {
+			t.Fatal("CanIssue must not consume")
+		}
+	}
+	if r.IssuedTotal != 0 {
+		t.Error("CanIssue must not count issues")
+	}
+}
+
+func TestIdleSlots(t *testing.T) {
+	r := res4()
+	r.BeginCycle(0)
+	if r.IdleIntSlots() != 2 || r.IdleFPSlots() != 1 {
+		t.Fatalf("fresh cycle idle = %d/%d, want 2/1", r.IdleIntSlots(), r.IdleFPSlots())
+	}
+	r.TryIssue(isa.ClassIntALU, 1, true)
+	if r.IdleIntSlots() != 1 {
+		t.Errorf("after one issue idle = %d, want 1", r.IdleIntSlots())
+	}
+	r.TryIssue(isa.ClassIntALU, 1, true)
+	if r.IdleIntSlots() != 0 {
+		t.Errorf("after two issues idle = %d, want 0", r.IdleIntSlots())
+	}
+}
+
+func TestIdleSlotsBoundedByBusyDividers(t *testing.T) {
+	r := res4()
+	r.BeginCycle(0)
+	r.TryIssue(isa.ClassIntMulDiv, 20, false)
+	r.BeginCycle(1)
+	// Width would allow 2, but only 1 unit is free.
+	if r.IdleIntSlots() != 1 {
+		t.Errorf("idle slots with busy divider = %d, want 1", r.IdleIntSlots())
+	}
+}
+
+func TestMemClassSharesIntResources(t *testing.T) {
+	r := res4()
+	r.BeginCycle(0)
+	r.TryIssue(isa.ClassMem, 1, true)
+	r.TryIssue(isa.ClassMem, 1, true)
+	if r.TryIssue(isa.ClassIntALU, 1, true) {
+		t.Error("two mem ops exhaust both int units/width")
+	}
+}
+
+func TestOneClusterResources(t *testing.T) {
+	r := New(config.Preset(1).Cluster) // 8 int (4 muldiv), 4 fp, 8/4 wide
+	r.BeginCycle(0)
+	issued := 0
+	for r.TryIssue(isa.ClassIntALU, 1, true) {
+		issued++
+	}
+	if issued != 8 {
+		t.Errorf("centralized machine must issue 8 int ops, got %d", issued)
+	}
+	fp := 0
+	for r.TryIssue(isa.ClassFPALU, 2, true) {
+		fp++
+	}
+	if fp != 4 {
+		t.Errorf("centralized machine must issue 4 fp ops, got %d", fp)
+	}
+}

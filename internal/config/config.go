@@ -1,0 +1,261 @@
+// Package config defines the simulator configuration and the paper's
+// Table 1 presets for the 1-, 2- and 4-cluster machines.
+package config
+
+import "fmt"
+
+// SteeringKind selects the instruction-steering heuristic (§3).
+type SteeringKind int
+
+const (
+	// SteerBaseline is the generalized "Advanced RMBS" heuristic of §3.1,
+	// with no awareness of value prediction.
+	SteerBaseline SteeringKind = iota
+	// SteerModified applies both §3.2 modifications unconditionally:
+	// predicted operands count as available (M1) and as mapped in all
+	// clusters (M2).
+	SteerModified
+	// SteerVPB is the paper's Value Prediction Based scheme (§3.3): M1
+	// always, M2 only when workload imbalance exceeds VPBThreshold.
+	SteerVPB
+	// SteerRoundRobin distributes instructions cyclically with no
+	// dependence awareness (a trace-processor-style baseline, §5).
+	SteerRoundRobin
+	// SteerLoadOnly always picks the least loaded cluster (pure
+	// balancing, no communication awareness).
+	SteerLoadOnly
+	// SteerDepFIFO approximates the Dependence-based paradigm's FIFO
+	// steering (§5): follow the first pending operand's producer, start
+	// new slices round-robin.
+	SteerDepFIFO
+)
+
+// String names the steering scheme.
+func (s SteeringKind) String() string {
+	switch s {
+	case SteerBaseline:
+		return "baseline"
+	case SteerModified:
+		return "modified"
+	case SteerVPB:
+		return "vpb"
+	case SteerRoundRobin:
+		return "roundrobin"
+	case SteerLoadOnly:
+		return "loadonly"
+	case SteerDepFIFO:
+		return "depfifo"
+	}
+	return fmt.Sprintf("steer?%d", int(s))
+}
+
+// VPKind selects the value predictor.
+type VPKind int
+
+const (
+	// VPNone disables value prediction.
+	VPNone VPKind = iota
+	// VPStride is the paper's stride predictor (§2.2).
+	VPStride
+	// VPPerfect is the Figure 3 upper bound: every integer operand
+	// predicted correctly.
+	VPPerfect
+	// VPTwoDelta is the 2-delta stride extension (the paper's "more
+	// complex and effective predictors" remark).
+	VPTwoDelta
+)
+
+// String names the predictor kind.
+func (v VPKind) String() string {
+	switch v {
+	case VPNone:
+		return "none"
+	case VPStride:
+		return "stride"
+	case VPPerfect:
+		return "perfect"
+	case VPTwoDelta:
+		return "twodelta"
+	}
+	return fmt.Sprintf("vp?%d", int(v))
+}
+
+// FUCount is the per-cluster functional-unit inventory. MulDiv-capable
+// units are a subset of the integer units, and FPMulDiv-capable units a
+// subset of the FP units, as in Table 1 ("8 int (4 include mul/div)").
+type FUCount struct {
+	IntALU   int // total integer units
+	IntMul   int // of which mul/div capable
+	FPALU    int // total FP units
+	FPMulDiv int // of which FP mul/div capable
+}
+
+// ClusterConfig sizes one cluster.
+type ClusterConfig struct {
+	// IQSize is the instruction-queue length.
+	IQSize int
+	// PhysRegs is the physical register file size.
+	PhysRegs int
+	// IssueInt and IssueFP are the per-cluster issue widths.
+	IssueInt int
+	IssueFP  int
+	// FUs is the functional-unit inventory.
+	FUs FUCount
+}
+
+// Config is the full machine configuration.
+type Config struct {
+	Name     string
+	Clusters int
+	Cluster  ClusterConfig
+
+	FetchWidth  int
+	DecodeWidth int
+	RetireWidth int
+	ROBSize     int
+	// RenameCycles is the depth of the decode/rename/steer stage (1 by
+	// default; §3.3 evaluates 2).
+	RenameCycles int
+
+	// CommLatency is the inter-cluster bus latency in cycles (§4.1).
+	CommLatency int
+	// CommPaths is the per-cluster inter-cluster write-port/bus count
+	// (§4.2); 0 means unbounded.
+	CommPaths int
+
+	// DCachePorts is the number of L1D read/write ports shared by all
+	// clusters (Table 1: 3).
+	DCachePorts int
+
+	// VP selects the value predictor; VPTableEntries sizes the stride
+	// table (§4.3). VPCoverFP extends prediction to FP operands (an
+	// extension; the paper's predictor covers integers only, §3.3).
+	VP             VPKind
+	VPTableEntries int
+	VPCoverFP      bool
+
+	// Steering selects the heuristic; BalanceThreshold is the DCOUNT
+	// threshold of rule 1 (32/16 for 4/2 clusters); VPBThreshold gates
+	// the VPB M2 rule (16/8 for 4/2 clusters).
+	Steering         SteeringKind
+	BalanceThreshold int
+	VPBThreshold     int
+
+	// PerfectCaches replaces the hierarchy with fixed 1-cycle accesses
+	// (ablation only; the paper always simulates real caches).
+	PerfectCaches bool
+
+	// MaxCycles aborts runaway simulations; 0 means a large default.
+	MaxCycles int64
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.Clusters < 1 {
+		return fmt.Errorf("config %s: clusters must be >= 1", c.Name)
+	}
+	cl := c.Cluster
+	if cl.IQSize < 1 || cl.PhysRegs < 1 || cl.IssueInt < 1 {
+		return fmt.Errorf("config %s: cluster geometry must be positive", c.Name)
+	}
+	if cl.FUs.IntMul > cl.FUs.IntALU {
+		return fmt.Errorf("config %s: mul/div units (%d) exceed int units (%d)", c.Name, cl.FUs.IntMul, cl.FUs.IntALU)
+	}
+	if cl.FUs.FPMulDiv > cl.FUs.FPALU {
+		return fmt.Errorf("config %s: FP mul/div units exceed FP units", c.Name)
+	}
+	if c.FetchWidth < 1 || c.DecodeWidth < 1 || c.RetireWidth < 1 || c.ROBSize < 1 {
+		return fmt.Errorf("config %s: pipeline widths must be positive", c.Name)
+	}
+	if c.RenameCycles < 1 {
+		return fmt.Errorf("config %s: rename cycles must be >= 1", c.Name)
+	}
+	if c.CommLatency < 1 {
+		return fmt.Errorf("config %s: comm latency must be >= 1", c.Name)
+	}
+	if c.CommPaths < 0 || c.DCachePorts < 1 {
+		return fmt.Errorf("config %s: bad port counts", c.Name)
+	}
+	if (c.VP == VPStride || c.VP == VPTwoDelta) && (c.VPTableEntries <= 0 || c.VPTableEntries&(c.VPTableEntries-1) != 0) {
+		return fmt.Errorf("config %s: VP table entries must be a power of two", c.Name)
+	}
+	// The rename scheme keeps at least one mapping per logical register;
+	// the initial round-robin spread needs enough physical registers.
+	if perCluster := (64 + c.Clusters - 1) / c.Clusters; cl.PhysRegs < perCluster+8 {
+		return fmt.Errorf("config %s: %d physical registers per cluster too few", c.Name, cl.PhysRegs)
+	}
+	return nil
+}
+
+// Preset returns the paper's Table 1 configuration for 1, 2 or 4
+// clusters, with value prediction off, baseline steering, 1-cycle
+// communication and unbounded bandwidth (the §3.1 starting point).
+func Preset(clusters int) Config {
+	c := Config{
+		Clusters:       clusters,
+		FetchWidth:     8,
+		DecodeWidth:    8,
+		RetireWidth:    8,
+		ROBSize:        128,
+		RenameCycles:   1,
+		CommLatency:    1,
+		CommPaths:      0,
+		DCachePorts:    3,
+		VP:             VPNone,
+		VPTableEntries: 128 * 1024,
+		Steering:       SteerBaseline,
+	}
+	switch clusters {
+	case 1:
+		c.Name = "1cluster"
+		c.Cluster = ClusterConfig{
+			IQSize: 64, PhysRegs: 128, IssueInt: 8, IssueFP: 4,
+			FUs: FUCount{IntALU: 8, IntMul: 4, FPALU: 4, FPMulDiv: 2},
+		}
+	case 2:
+		c.Name = "2cluster"
+		c.Cluster = ClusterConfig{
+			IQSize: 32, PhysRegs: 80, IssueInt: 4, IssueFP: 2,
+			FUs: FUCount{IntALU: 4, IntMul: 2, FPALU: 2, FPMulDiv: 2},
+		}
+		c.BalanceThreshold = 16
+		c.VPBThreshold = 8
+	case 4:
+		c.Name = "4cluster"
+		c.Cluster = ClusterConfig{
+			IQSize: 16, PhysRegs: 56, IssueInt: 2, IssueFP: 1,
+			FUs: FUCount{IntALU: 2, IntMul: 1, FPALU: 1, FPMulDiv: 1},
+		}
+		c.BalanceThreshold = 32
+		c.VPBThreshold = 16
+	default:
+		panic(fmt.Sprintf("config: no Table 1 preset for %d clusters", clusters))
+	}
+	return c
+}
+
+// WithVP returns a copy with the given predictor enabled.
+func (c Config) WithVP(kind VPKind) Config {
+	c.VP = kind
+	return c
+}
+
+// WithSteering returns a copy using the given steering scheme.
+func (c Config) WithSteering(s SteeringKind) Config {
+	c.Steering = s
+	return c
+}
+
+// WithComm returns a copy with the given communication latency and
+// per-cluster path count (0 = unbounded).
+func (c Config) WithComm(latency, paths int) Config {
+	c.CommLatency = latency
+	c.CommPaths = paths
+	return c
+}
+
+// WithVPTable returns a copy with the given stride-table size.
+func (c Config) WithVPTable(entries int) Config {
+	c.VPTableEntries = entries
+	return c
+}

@@ -1,0 +1,109 @@
+package config
+
+import "testing"
+
+func TestTable1Presets(t *testing.T) {
+	// The exact Table 1 numbers.
+	cases := []struct {
+		clusters                  int
+		iq, regs, issInt, issFP   int
+		intALU, intMul, fp, fpMul int
+	}{
+		{1, 64, 128, 8, 4, 8, 4, 4, 2},
+		{2, 32, 80, 4, 2, 4, 2, 2, 2},
+		{4, 16, 56, 2, 1, 2, 1, 1, 1},
+	}
+	for _, c := range cases {
+		cfg := Preset(c.clusters)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%d clusters: %v", c.clusters, err)
+		}
+		cl := cfg.Cluster
+		if cl.IQSize != c.iq || cl.PhysRegs != c.regs {
+			t.Errorf("%dc: IQ/regs = %d/%d, want %d/%d", c.clusters, cl.IQSize, cl.PhysRegs, c.iq, c.regs)
+		}
+		if cl.IssueInt != c.issInt || cl.IssueFP != c.issFP {
+			t.Errorf("%dc: issue = %d/%d, want %d/%d", c.clusters, cl.IssueInt, cl.IssueFP, c.issInt, c.issFP)
+		}
+		if cl.FUs.IntALU != c.intALU || cl.FUs.IntMul != c.intMul || cl.FUs.FPALU != c.fp || cl.FUs.FPMulDiv != c.fpMul {
+			t.Errorf("%dc: FUs = %+v", c.clusters, cl.FUs)
+		}
+		if cfg.ROBSize != 128 || cfg.FetchWidth != 8 || cfg.DecodeWidth != 8 || cfg.RetireWidth != 8 {
+			t.Errorf("%dc: pipeline widths wrong: %+v", c.clusters, cfg)
+		}
+		if cfg.DCachePorts != 3 {
+			t.Errorf("%dc: D-cache ports = %d, want 3", c.clusters, cfg.DCachePorts)
+		}
+	}
+}
+
+func TestPaperThresholds(t *testing.T) {
+	// §3.1: DCOUNT=32/16 for rule 1 on 4/2 clusters; §3.3: VPB M2
+	// thresholds 16/8.
+	c4 := Preset(4)
+	if c4.BalanceThreshold != 32 || c4.VPBThreshold != 16 {
+		t.Errorf("4c thresholds = %d/%d, want 32/16", c4.BalanceThreshold, c4.VPBThreshold)
+	}
+	c2 := Preset(2)
+	if c2.BalanceThreshold != 16 || c2.VPBThreshold != 8 {
+		t.Errorf("2c thresholds = %d/%d, want 16/8", c2.BalanceThreshold, c2.VPBThreshold)
+	}
+}
+
+func TestPresetPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Preset(3) must panic: the paper has no 3-cluster machine")
+		}
+	}()
+	Preset(3)
+}
+
+func TestWithersDoNotMutate(t *testing.T) {
+	base := Preset(4)
+	mod := base.WithVP(VPStride).WithSteering(SteerVPB).WithComm(4, 2).WithVPTable(1024)
+	if base.VP != VPNone || base.Steering != SteerBaseline || base.CommLatency != 1 || base.VPTableEntries != 128*1024 {
+		t.Error("With* must not mutate the receiver")
+	}
+	if mod.VP != VPStride || mod.Steering != SteerVPB || mod.CommLatency != 4 || mod.CommPaths != 2 || mod.VPTableEntries != 1024 {
+		t.Error("With* must apply the change")
+	}
+}
+
+func TestValidationCatchesBadConfigs(t *testing.T) {
+	mk := func(f func(*Config)) Config {
+		c := Preset(4)
+		f(&c)
+		return c
+	}
+	bad := []Config{
+		mk(func(c *Config) { c.Clusters = 0 }),
+		mk(func(c *Config) { c.Cluster.IQSize = 0 }),
+		mk(func(c *Config) { c.Cluster.FUs.IntMul = 3 }),
+		mk(func(c *Config) { c.Cluster.FUs.FPMulDiv = 2 }),
+		mk(func(c *Config) { c.RetireWidth = 0 }),
+		mk(func(c *Config) { c.RenameCycles = 0 }),
+		mk(func(c *Config) { c.CommLatency = 0 }),
+		mk(func(c *Config) { c.CommPaths = -1 }),
+		mk(func(c *Config) { c.DCachePorts = 0 }),
+		mk(func(c *Config) { c.VP = VPStride; c.VPTableEntries = 100 }),
+		mk(func(c *Config) { c.Cluster.PhysRegs = 4 }),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d passed validation", i)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if SteerBaseline.String() != "baseline" || SteerVPB.String() != "vpb" || SteerModified.String() != "modified" {
+		t.Error("steering names wrong")
+	}
+	if VPNone.String() != "none" || VPStride.String() != "stride" || VPPerfect.String() != "perfect" || VPTwoDelta.String() != "twodelta" {
+		t.Error("VP names wrong")
+	}
+	if SteeringKind(99).String() == "" || VPKind(99).String() == "" {
+		t.Error("unknown kinds must still render")
+	}
+}

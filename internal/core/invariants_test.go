@@ -1,0 +1,267 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"clustervp/internal/config"
+	"clustervp/internal/isa"
+	"clustervp/internal/program"
+	"clustervp/internal/trace"
+	"clustervp/internal/workload"
+)
+
+func TestDeterminism(t *testing.T) {
+	// Two runs of the same configuration must produce identical
+	// statistics; the simulator has no hidden nondeterminism.
+	k, _ := workload.ByName("cjpeg")
+	cfg := config.Preset(4).WithVP(config.VPStride).WithSteering(config.SteerVPB)
+	a := run(t, cfg, k.Build(1))
+	b := run(t, cfg, k.Build(1))
+	if a != b {
+		t.Errorf("runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	k, _ := workload.ByName("cjpeg")
+	bad := config.Preset(4)
+	bad.CommLatency = 0
+	if _, err := New(bad, k.Build(1)); err == nil {
+		t.Error("zero comm latency must be rejected")
+	}
+	bad2 := config.Preset(4)
+	bad2.Cluster.FUs.IntMul = 99
+	if _, err := New(bad2, k.Build(1)); err == nil {
+		t.Error("mul units exceeding int units must be rejected")
+	}
+	bad3 := config.Preset(2)
+	bad3.VPTableEntries = 1000
+	bad3.VP = config.VPStride
+	if _, err := New(bad3, k.Build(1)); err == nil {
+		t.Error("non-power-of-two VP table must be rejected")
+	}
+}
+
+func TestMaxCyclesAborts(t *testing.T) {
+	k, _ := workload.ByName("gsmenc")
+	cfg := config.Preset(4)
+	cfg.MaxCycles = 100
+	s, err := New(cfg, k.Build(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Fatalf("expected cycle-budget error, got %v", err)
+	}
+}
+
+func TestRunawayProgramSurfacesError(t *testing.T) {
+	b := program.NewBuilder("spin")
+	b.Label("x")
+	b.I(isa.ADDI, isa.R1, isa.R1, 1)
+	b.Jmp("x")
+	b.Halt()
+	cfg := config.Preset(1)
+	cfg.MaxCycles = 2_000_000
+	s, err := New(cfg, b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Fatal("infinite program must surface an error, not hang")
+	}
+}
+
+func TestBusSaturationStallsButCompletes(t *testing.T) {
+	// Squeeze a communication-heavy kernel through one path per cluster
+	// at high latency: bus stalls must appear, and not a single
+	// instruction may be lost.
+	k, _ := workload.ByName("gsmenc")
+	e := trace.NewExecutor(k.Build(1))
+	want, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := run(t, config.Preset(4).WithComm(4, 1), k.Build(1))
+	if r.Instructions != want {
+		t.Errorf("committed %d, want %d", r.Instructions, want)
+	}
+	if r.BusStalls == 0 {
+		t.Error("single-path latency-4 network should stall sometimes")
+	}
+}
+
+func TestCopiesEqualTransfersWithoutVP(t *testing.T) {
+	// Without value prediction every copy crosses a wire exactly once
+	// unless it was reissued (each reissue re-reserves the bus).
+	k, _ := workload.ByName("djpeg")
+	r := run(t, config.Preset(4), k.Build(1))
+	if r.Reissues != 0 {
+		// No VP, no speculation on values: reissues must be zero.
+		t.Errorf("reissues without VP = %d, want 0", r.Reissues)
+	}
+	if r.Copies != r.BusTransfers {
+		t.Errorf("copies (%d) must equal bus transfers (%d) without VP", r.Copies, r.BusTransfers)
+	}
+	if r.VerifyCopies != 0 || r.PredictedOperandsUsed != 0 {
+		t.Error("no VP must mean no verification-copies or predicted operands")
+	}
+}
+
+func TestTransfersBoundedWithVP(t *testing.T) {
+	// With prediction, transfers = copies + mispredicted verification
+	// forwards (+ reissued copies); they can never exceed copies plus
+	// verification-copies plus reissues.
+	k, _ := workload.ByName("rawcaudio")
+	r := run(t, config.Preset(4).WithVP(config.VPStride).WithSteering(config.SteerVPB), k.Build(1))
+	if r.BusTransfers < r.Copies {
+		t.Errorf("transfers (%d) below copies (%d)", r.BusTransfers, r.Copies)
+	}
+	if r.BusTransfers > r.Copies+r.VerifyCopies+r.Reissues {
+		t.Errorf("transfers (%d) exceed copies+vcs+reissues (%d+%d+%d)",
+			r.BusTransfers, r.Copies, r.VerifyCopies, r.Reissues)
+	}
+}
+
+func TestAlternativeSteeringsComplete(t *testing.T) {
+	k, _ := workload.ByName("epicdec")
+	e := trace.NewExecutor(k.Build(1))
+	want, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []config.SteeringKind{
+		config.SteerRoundRobin, config.SteerLoadOnly, config.SteerDepFIFO,
+	} {
+		r := run(t, config.Preset(4).WithSteering(kind).WithVP(config.VPStride), k.Build(1))
+		if r.Instructions != want {
+			t.Errorf("%v: committed %d, want %d", kind, r.Instructions, want)
+		}
+	}
+}
+
+func TestAlternativeSteeringsLoseToPaperScheme(t *testing.T) {
+	// The §5 comparison: communication-blind steering must generate far
+	// more traffic than the paper's heuristic.
+	k, _ := workload.ByName("gsmenc")
+	base := run(t, config.Preset(4), k.Build(1))
+	rr := run(t, config.Preset(4).WithSteering(config.SteerRoundRobin), k.Build(1))
+	if rr.CommPerInstr() < base.CommPerInstr()*1.3 {
+		t.Errorf("round robin comm %.3f should far exceed baseline %.3f",
+			rr.CommPerInstr(), base.CommPerInstr())
+	}
+	if rr.IPC() > base.IPC() {
+		t.Errorf("round robin (%.3f) should not beat the paper's steering (%.3f)", rr.IPC(), base.IPC())
+	}
+}
+
+func TestTwoDeltaPredictorRuns(t *testing.T) {
+	k, _ := workload.ByName("cjpeg")
+	e := trace.NewExecutor(k.Build(1))
+	want, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := run(t, config.Preset(4).WithVP(config.VPTwoDelta).WithSteering(config.SteerVPB), k.Build(1))
+	if r.Instructions != want {
+		t.Errorf("committed %d, want %d", r.Instructions, want)
+	}
+	if r.VP.Lookups == 0 || r.PredictedOperandsUsed == 0 {
+		t.Error("2-delta predictor never engaged")
+	}
+}
+
+func TestTinyVPTableStillCorrect(t *testing.T) {
+	k, _ := workload.ByName("g721enc")
+	e := trace.NewExecutor(k.Build(1))
+	want, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := run(t, config.Preset(4).WithVP(config.VPStride).WithSteering(config.SteerVPB).WithVPTable(16), k.Build(1))
+	if r.Instructions != want {
+		t.Errorf("committed %d, want %d (16-entry table)", r.Instructions, want)
+	}
+}
+
+func TestImbalanceMetricZeroOnOneCluster(t *testing.T) {
+	k, _ := workload.ByName("cjpeg")
+	r := run(t, config.Preset(1), k.Build(1))
+	if r.Imbalance() != 0 {
+		t.Errorf("centralized machine cannot be imbalanced, got %v", r.Imbalance())
+	}
+}
+
+func TestRetireOrderExactCount(t *testing.T) {
+	// Heavy misprediction pressure (tiny table + erratic values) across
+	// 2 clusters with limited bandwidth: the reissue machinery must
+	// neither lose nor duplicate instructions.
+	k, _ := workload.ByName("pgpenc")
+	e := trace.NewExecutor(k.Build(1))
+	want, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Preset(2).WithVP(config.VPStride).WithSteering(config.SteerModified).WithComm(2, 1).WithVPTable(16)
+	r := run(t, cfg, k.Build(1))
+	if r.Instructions != want {
+		t.Errorf("committed %d, want %d", r.Instructions, want)
+	}
+}
+
+func TestPerfectCachesFasterThanReal(t *testing.T) {
+	k, _ := workload.ByName("epicenc")
+	real := run(t, config.Preset(1), k.Build(1))
+	ideal := run(t, perfectCache(config.Preset(1)), k.Build(1))
+	if ideal.IPC() < real.IPC() {
+		t.Errorf("perfect caches (%.3f) cannot lose to real caches (%.3f)", ideal.IPC(), real.IPC())
+	}
+	if ideal.L1DMisses != 0 || ideal.L1IMisses != 0 {
+		t.Error("perfect caches must record no misses")
+	}
+}
+
+func TestHigherScaleSameIPCBallpark(t *testing.T) {
+	// IPC must be a property of the kernel, not of its length: doubling
+	// the workload scale should not move IPC more than a few percent.
+	k, _ := workload.ByName("gsmdec")
+	cfg := config.Preset(4).WithVP(config.VPStride).WithSteering(config.SteerVPB)
+	r1 := run(t, cfg, k.Build(1))
+	r2 := run(t, cfg, k.Build(2))
+	ratio := r2.IPC() / r1.IPC()
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("IPC drifted with scale: %.3f -> %.3f", r1.IPC(), r2.IPC())
+	}
+}
+
+func TestFPCoverageExtension(t *testing.T) {
+	// The paper's §3.3 remark: residual communication under perfect
+	// prediction is FP values. Extending coverage to FP operands must
+	// drive the residue toward zero on FP-heavy kernels.
+	k, _ := workload.ByName("rasta")
+	intOnly := run(t, config.Preset(4).WithVP(config.VPPerfect).WithSteering(config.SteerVPB), k.Build(1))
+	cfg := config.Preset(4).WithVP(config.VPPerfect).WithSteering(config.SteerVPB)
+	cfg.VPCoverFP = true
+	withFP := run(t, cfg, k.Build(1))
+	if withFP.CommPerInstr() >= intOnly.CommPerInstr() {
+		t.Errorf("FP coverage should cut residual comm: %.4f -> %.4f",
+			intOnly.CommPerInstr(), withFP.CommPerInstr())
+	}
+	if withFP.IPC() < intOnly.IPC() {
+		t.Errorf("perfect FP coverage cannot lose IPC: %.3f -> %.3f", intOnly.IPC(), withFP.IPC())
+	}
+	// Stride-with-FP must still commit exactly the right count even
+	// though FP bit patterns rarely stride-predict.
+	e := trace.NewExecutor(k.Build(1))
+	want, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := config.Preset(4).WithVP(config.VPStride).WithSteering(config.SteerVPB)
+	cfg2.VPCoverFP = true
+	r := run(t, cfg2, k.Build(1))
+	if r.Instructions != want {
+		t.Errorf("stride+fp committed %d, want %d", r.Instructions, want)
+	}
+}

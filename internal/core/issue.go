@@ -1,0 +1,314 @@
+package core
+
+// issue is the per-cluster wakeup/select stage. ROB order gives
+// oldest-first selection; each cluster enforces its issue widths and
+// functional units, memory operations share the L1D ports, and copies
+// reserve inter-cluster buses like any other resource (§2.1).
+func (s *Sim) issue(now int64) {
+	for _, r := range s.res {
+		r.BeginCycle(now)
+	}
+	dports := s.cfg.DCachePorts
+
+	// Per-cluster count of ready instructions denied by width/FU limits,
+	// for the NREADY imbalance metric (§2.3.2).
+	nc := s.cfg.Clusters
+	excessInt := make([]int, nc)
+	excessFP := make([]int, nc)
+
+	for i := s.headSeq; i < s.nextSeq; i++ {
+		e := &s.ring[i%ringCap]
+		if e.st != stWaiting || e.dispatchTime >= now {
+			continue
+		}
+		if !e.allSrcReady(now) {
+			continue
+		}
+		var fwd *entry
+		if e.isLoad {
+			var blocked bool
+			blocked, fwd = s.loadBlocked(e, now)
+			if blocked {
+				continue
+			}
+		}
+		cl := e.cluster
+
+		// Memory port check (shared L1D ports, Table 1: 3 R/W ports).
+		if (e.isLoad || e.isStore) && dports == 0 {
+			// Port-starved: counts as issue-width style denial for the
+			// imbalance metric? The paper ties NREADY to issue width and
+			// idle FUs, so port denials are excluded.
+			continue
+		}
+		// Bus reservation check for copies and for verification-copies
+		// that will have to forward (mismatch known functionally).
+		needsBus := e.isCopy || (e.isVC && !e.vcCorrect)
+		if needsBus && !s.net.CanReserve(e.dstCluster, now+1) {
+			s.out.BusStalls++
+			continue
+		}
+		if !s.res[cl].TryIssue(e.class, e.lat, e.pipe) {
+			if e.class.IsFP() {
+				excessFP[cl]++
+			} else {
+				excessInt[cl]++
+			}
+			continue
+		}
+
+		// Issue.
+		e.st = stIssued
+		e.issueTime = now
+		switch {
+		case e.isCopy:
+			arrival, ok := s.net.Reserve(e.dstCluster, now+1)
+			if !ok {
+				panic("core: bus reservation failed after CanReserve")
+			}
+			e.doneTime = arrival
+		case e.isVC:
+			if e.vcCorrect {
+				// Local compare only; no wire crossed.
+				e.doneTime = now + 1
+			} else {
+				arrival, ok := s.net.Reserve(e.dstCluster, now+1)
+				if !ok {
+					panic("core: bus reservation failed after CanReserve")
+				}
+				e.doneTime = arrival
+			}
+		case e.isLoad:
+			if dports > 0 {
+				dports--
+			}
+			if fwd != nil {
+				// Store-to-load forwarding through the store queue.
+				e.doneTime = now + 1
+				fwd.deps = append(fwd.deps, ref(e))
+			} else {
+				e.doneTime = now + 1 + int64(s.caches.DataAccess(e.addr))
+			}
+		case e.isStore:
+			if dports > 0 {
+				dports--
+			}
+			// Warm the line; the store completes into the store queue.
+			s.caches.DataAccess(e.addr)
+			e.doneTime = now + 1
+		default:
+			e.doneTime = now + int64(e.lat)
+		}
+		s.iqCount[cl]--
+	}
+
+	// NREADY: ready instructions beyond their cluster's issue capacity
+	// that idle capacity elsewhere could have absorbed.
+	var nready int
+	for c := 0; c < nc; c++ {
+		if excessInt[c] > 0 {
+			idle := 0
+			for j := 0; j < nc; j++ {
+				if j != c {
+					idle += s.res[j].IdleIntSlots()
+				}
+			}
+			if idle < excessInt[c] {
+				nready += idle
+			} else {
+				nready += excessInt[c]
+			}
+		}
+		if excessFP[c] > 0 {
+			idle := 0
+			for j := 0; j < nc; j++ {
+				if j != c {
+					idle += s.res[j].IdleFPSlots()
+				}
+			}
+			if idle < excessFP[c] {
+				nready += idle
+			} else {
+				nready += excessFP[c]
+			}
+		}
+	}
+	s.out.NReadySum += uint64(nready)
+}
+
+// loadBlocked implements the paper's disambiguation rule: a load may
+// execute once every older store's address is known (the store's address
+// operand is ready or the store has issued; data may still be pending).
+// A load whose address matches an older in-flight store additionally
+// waits for that store's data so it can forward; fwd returns the
+// youngest matching store.
+func (s *Sim) loadBlocked(load *entry, now int64) (blocked bool, fwd *entry) {
+	for _, sr := range s.activeStores {
+		st := sr.get()
+		if st == nil || st.seq > load.seq {
+			continue
+		}
+		if st.st != stIssued && !st.srcReady(0, now) {
+			return true, nil
+		}
+		if st.addr>>3 == load.addr>>3 {
+			if fwd == nil || st.seq > fwd.seq {
+				fwd = st
+			}
+		}
+	}
+	if fwd != nil && fwd.st != stIssued {
+		// Matching store: wait until its data enters the store queue.
+		return true, nil
+	}
+	return false, fwd
+}
+
+// processVerifications resolves value-prediction checks: local
+// predictions verify one cycle after the producer's writeback (§2.2);
+// remote predictions verify when the verification-copy compares in the
+// producer cluster, and on mismatch the corrected value arrives over the
+// bus (§2.2, clustered extension).
+func (s *Sim) processVerifications(now int64) {
+	if len(s.pendingVerifs) == 0 {
+		return
+	}
+	remaining := s.pendingVerifs[:0]
+	for _, v := range s.pendingVerifs {
+		var t int64
+		p := v.provider.get()
+		switch {
+		case p == nil:
+			// Provider committed: its writeback long since happened.
+			t = now
+		case !v.remote:
+			if p.st != stIssued || p.doneTime+1 > now {
+				remaining = append(remaining, v)
+				continue
+			}
+			t = p.doneTime + 1
+		case v.correct:
+			// Verification-copy compares locally one cycle after issue.
+			if p.st != stIssued || p.issueTime+1 > now {
+				remaining = append(remaining, v)
+				continue
+			}
+			t = p.issueTime + 1
+		default:
+			// Mismatch: the corrected value crosses the wire; the
+			// consumer can restart when it arrives.
+			if p.st != stIssued || p.doneTime > now {
+				remaining = append(remaining, v)
+				continue
+			}
+			t = p.doneTime
+		}
+		s.resolveVerification(v, t)
+	}
+	s.pendingVerifs = remaining
+}
+
+func (s *Sim) resolveVerification(v verification, t int64) {
+	c := v.consumer.get()
+	if c == nil {
+		return // consumer already committed (only possible when correct)
+	}
+	if t > c.verifyMin {
+		c.verifyMin = t
+	}
+	if v.correct {
+		c.unverified--
+		return
+	}
+	s.out.PredictedOperandsWrong++
+	if c.st == stIssued {
+		s.invalidate(c)
+	}
+	src := &c.src[v.opIdx]
+	src.predicted = false
+	src.minReady = t
+	src.provider = v.provider
+	if p := v.provider.get(); p != nil {
+		p.deps = append(p.deps, v.consumer)
+	}
+	c.unverified--
+}
+
+// invalidate implements selective invalidation and reissue (§2.2): the
+// entry returns to the waiting state and every issued dependent is
+// invalidated transitively. The paper assumes the existing issue
+// mechanism performs the restart with no additional penalty.
+func (s *Sim) invalidate(e *entry) {
+	if e.st != stIssued {
+		return
+	}
+	e.st = stWaiting
+	e.doneTime = 1 << 62
+	s.iqCount[e.cluster]++
+	s.out.Reissues++
+	if e.isBranch && e.mispred && s.blockingBranch.get() == nil {
+		// A re-executing control-mispredicted branch redirects fetch
+		// again.
+		s.blockingBranch = ref(e)
+	}
+	if e.isStore {
+		// Conservative memory-order recovery: younger issued loads
+		// restart (their disambiguation decision may be stale).
+		for i := e.seq + 1; i < s.nextSeq; i++ {
+			d := &s.ring[i%ringCap]
+			if d.isLoad && d.st == stIssued {
+				s.invalidate(d)
+			}
+		}
+	}
+	for _, dr := range e.deps {
+		if d := dr.get(); d != nil && d.st == stIssued {
+			s.invalidate(d)
+		}
+	}
+}
+
+// commit retires up to RetireWidth entries per cycle in order; an entry
+// retires once executed and with all its value predictions verified.
+// Copy and verification-copy instructions occupy retire slots like any
+// other ROB entry but do not count as program instructions.
+func (s *Sim) commit(now int64) {
+	for n := 0; n < s.cfg.RetireWidth && s.robCount > 0; n++ {
+		e := &s.ring[s.headSeq%ringCap]
+		if !e.resolved(now) {
+			return
+		}
+		if e.hasDest {
+			field := e.cluster
+			if e.isCopy {
+				field = e.dstCluster
+			}
+			m := s.table.Lookup(e.destLog, field)
+			if m.Valid && m.Provider.e == e && m.Provider.seq == e.seq {
+				s.table.SetProvider(e.destLog, field, eref{})
+			}
+			if e.freeAtCommit != nil {
+				s.table.ReleaseAtCommit(e.freeAtCommit)
+			}
+		}
+		if e.isStore {
+			s.removeActiveStore(e.seq)
+		}
+		if !e.isCopy && !e.isVC {
+			s.out.Instructions++
+		}
+		e.st = stCommitted
+		s.headSeq++
+		s.robCount--
+		s.lastCommitCycle = now
+	}
+}
+
+func (s *Sim) removeActiveStore(seq int64) {
+	for i, sr := range s.activeStores {
+		if sr.seq == seq {
+			s.activeStores = append(s.activeStores[:i], s.activeStores[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,554 @@
+package core
+
+import (
+	"fmt"
+
+	"clustervp/internal/bpred"
+	"clustervp/internal/cache"
+	"clustervp/internal/cluster"
+	"clustervp/internal/config"
+	"clustervp/internal/interconnect"
+	"clustervp/internal/isa"
+	"clustervp/internal/program"
+	"clustervp/internal/rename"
+	"clustervp/internal/stats"
+	"clustervp/internal/steer"
+	"clustervp/internal/trace"
+	"clustervp/internal/vpred"
+)
+
+const (
+	ringCap   = 512
+	fetchQCap = 32
+	// watchdogWindow aborts the run when no instruction commits for this
+	// many cycles — always a simulator bug, never a workload property.
+	watchdogWindow = 100_000
+	defaultMaxCyc  = 500_000_000
+)
+
+// Sim is one simulation instance: one configuration bound to one
+// workload trace.
+type Sim struct {
+	cfg config.Config
+
+	exec   *trace.Executor
+	peeked *trace.DynInst
+	trDone bool
+
+	bp     *bpred.Unit
+	vp     vpred.Predictor
+	caches cache.Oracle
+	hier   *cache.Hierarchy // nil when PerfectCaches
+	net    *interconnect.Network
+	bal    *steer.Balancer
+	str    steer.Chooser
+	table  *rename.Table[eref]
+	res    []*cluster.Resources
+
+	// ROB ring.
+	ring     [ringCap]entry
+	headSeq  int64
+	nextSeq  int64
+	robCount int
+
+	iqCount []int
+
+	fetchQ []fetched
+	// fetchReadyTime gates fetch (I-cache misses, branch redirects);
+	// lastFetchLine dedupes I-cache accesses within a line.
+	fetchReadyTime int64
+	lastFetchLine  int64
+	// blockingBranch is the in-flight control-mispredicted branch fetch
+	// is waiting on, if any; fetchBlockedPreDispatch covers the window
+	// between fetching the mispredicted branch and dispatching it.
+	blockingBranch      eref
+	fetchBlockedPreDisp bool
+	pendingVerifs       []verification
+	activeStores        []eref
+	lastCommitCycle     int64
+
+	out stats.Results
+}
+
+// New builds a simulator for the given configuration and program. It
+// returns an error for invalid configurations.
+func New(cfg config.Config, prog *program.Program) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		cfg:           cfg,
+		exec:          trace.NewExecutor(prog),
+		bp:            bpred.NewUnit(bpred.NewPaperCombined()),
+		bal:           steer.NewBalancer(cfg.Clusters),
+		table:         rename.New[eref](cfg.Clusters, cfg.Cluster.PhysRegs),
+		iqCount:       make([]int, cfg.Clusters),
+		lastFetchLine: -1,
+	}
+	switch cfg.Steering {
+	case config.SteerRoundRobin:
+		s.str = steer.NewRoundRobin(cfg, s.bal)
+	case config.SteerLoadOnly:
+		s.str = steer.NewLoadOnly(cfg, s.bal)
+	case config.SteerDepFIFO:
+		s.str = steer.NewDepFIFO(cfg, s.bal)
+	default:
+		s.str = steer.New(cfg, s.bal)
+	}
+	switch cfg.VP {
+	case config.VPNone:
+		s.vp = vpred.None{}
+	case config.VPStride:
+		sp := vpred.NewStride(cfg.VPTableEntries)
+		sp.CoverFP = cfg.VPCoverFP
+		s.vp = sp
+	case config.VPPerfect:
+		pp := vpred.NewPerfect()
+		pp.CoverFP = cfg.VPCoverFP
+		s.vp = pp
+	case config.VPTwoDelta:
+		s.vp = vpred.NewTwoDelta(cfg.VPTableEntries)
+	default:
+		return nil, fmt.Errorf("core: unknown VP kind %v", cfg.VP)
+	}
+	if cfg.PerfectCaches {
+		s.caches = cache.Perfect{Lat: 1}
+	} else {
+		s.hier = cache.DefaultHierarchy()
+		s.caches = s.hier
+	}
+	s.net = interconnect.New(interconnect.Config{
+		Clusters:        cfg.Clusters,
+		PathsPerCluster: cfg.CommPaths,
+		Latency:         cfg.CommLatency,
+	})
+	s.res = make([]*cluster.Resources, cfg.Clusters)
+	for c := range s.res {
+		s.res[c] = cluster.New(cfg.Cluster)
+	}
+	s.out.Config = cfg.Name
+	s.out.Benchmark = prog.Name
+	return s, nil
+}
+
+// peek returns the next dynamic instruction without consuming it.
+func (s *Sim) peek() *trace.DynInst {
+	if s.peeked != nil {
+		return s.peeked
+	}
+	if s.trDone {
+		return nil
+	}
+	var d trace.DynInst
+	if !s.exec.Next(&d) {
+		s.trDone = true
+		return nil
+	}
+	s.peeked = &d
+	return s.peeked
+}
+
+func (s *Sim) consume() { s.peeked = nil }
+
+// Run simulates until the trace drains and the pipeline empties, then
+// returns the collected statistics.
+func (s *Sim) Run() (stats.Results, error) {
+	maxCyc := s.cfg.MaxCycles
+	if maxCyc == 0 {
+		maxCyc = defaultMaxCyc
+	}
+	var cycle int64
+	for cycle = 0; ; cycle++ {
+		if cycle > maxCyc {
+			return s.out, fmt.Errorf("core: exceeded %d cycles", maxCyc)
+		}
+		s.processVerifications(cycle)
+		s.commit(cycle)
+		s.issue(cycle)
+		s.dispatch(cycle)
+		s.fetch(cycle)
+		if s.trDone && s.peeked == nil && s.robCount == 0 && len(s.fetchQ) == 0 {
+			cycle++
+			break
+		}
+		if s.robCount > 0 && cycle-s.lastCommitCycle > watchdogWindow {
+			return s.out, fmt.Errorf("core: deadlock at cycle %d: %s", cycle, s.describeHead(cycle))
+		}
+	}
+	if err := s.exec.Err(); err != nil {
+		return s.out, err
+	}
+	s.out.Cycles = cycle
+	s.out.VP = s.vp.Stats()
+	s.out.BranchSeen = s.bp.CondSeen + s.bp.TargetSeen
+	s.out.BranchHit = s.bp.CondHit + s.bp.TargetHit
+	s.out.BusTransfers = s.net.Transfers
+	if s.hier != nil {
+		s.out.L1IMisses = s.hier.L1I.Misses
+		s.out.L1DMisses = s.hier.L1D.Misses
+		s.out.L2Misses = s.hier.L2.Misses
+	}
+	return s.out, nil
+}
+
+func (s *Sim) describeHead(now int64) string {
+	if s.robCount == 0 {
+		return "rob empty"
+	}
+	e := &s.ring[s.headSeq%ringCap]
+	msg := fmt.Sprintf("head seq=%d pc=%d op=%v st=%d cluster=%d unverified=%d",
+		e.seq, e.dyn.PC, e.dyn.Inst.Op, e.st, e.cluster, e.unverified)
+	for i := 0; i < e.nsrc; i++ {
+		msg += fmt.Sprintf(" src%d(ready=%v pred=%v)", i, e.srcReady(i, now), e.src[i].predicted)
+	}
+	return msg
+}
+
+// fetch models the front end: up to FetchWidth instructions per cycle
+// from the correct path, gated by the I-cache and by unresolved
+// mispredicted branches.
+func (s *Sim) fetch(now int64) {
+	if s.fetchBlockedPreDisp {
+		return
+	}
+	if b := s.blockingBranch.get(); b != nil {
+		if !b.resolved(now) {
+			return
+		}
+		s.blockingBranch = eref{}
+		if t := b.doneTime + 1; t > s.fetchReadyTime {
+			s.fetchReadyTime = t
+		}
+		// Redirect restarts fetch on a fresh line.
+		s.lastFetchLine = -1
+	} else if !s.blockingBranch.zero() {
+		// The branch committed while we were blocked (resolved earlier).
+		s.blockingBranch = eref{}
+		s.lastFetchLine = -1
+	}
+	if now < s.fetchReadyTime {
+		return
+	}
+	for n := 0; n < s.cfg.FetchWidth && len(s.fetchQ) < fetchQCap; n++ {
+		d := s.peek()
+		if d == nil {
+			return
+		}
+		// Instruction-cache access once per 32-byte line.
+		line := int64(d.PC) * 4 / 32
+		if line != s.lastFetchLine {
+			lat := s.caches.InstAccess(uint64(d.PC) * 4)
+			s.lastFetchLine = line
+			if lat > 1 {
+				// Line arrives later; retry then (it will hit).
+				s.fetchReadyTime = now + int64(lat)
+				return
+			}
+		}
+		f := fetched{dyn: *d, fetchTime: now}
+		info := d.Info()
+		if info.IsBranch {
+			predNext, _ := s.bp.PredictNext(d.PC, d.Inst)
+			correct := s.bp.Resolve(d.PC, d.Inst, d.NextPC, d.Taken, predNext)
+			if !correct {
+				f.mispred = true
+			}
+		}
+		s.consume()
+		s.fetchQ = append(s.fetchQ, f)
+		if f.mispred {
+			// Fetch cannot proceed past a mispredicted branch until it
+			// resolves; the block transfers to blockingBranch at
+			// dispatch.
+			s.fetchBlockedPreDisp = true
+			return
+		}
+	}
+}
+
+// alloc claims the next ROB ring slot.
+func (s *Sim) alloc() *entry {
+	e := &s.ring[s.nextSeq%ringCap]
+	*e = entry{seq: s.nextSeq, doneTime: 1 << 62}
+	s.nextSeq++
+	s.robCount++
+	return e
+}
+
+// dispatch is the decode/rename/steer stage: up to DecodeWidth
+// instructions per cycle, each possibly expanding into copy or
+// verification-copy instructions, all consuming ROB/IQ/register
+// resources.
+func (s *Sim) dispatch(now int64) {
+	for n := 0; n < s.cfg.DecodeWidth && len(s.fetchQ) > 0; n++ {
+		f := &s.fetchQ[0]
+		if now < f.fetchTime+int64(s.cfg.RenameCycles) {
+			return
+		}
+		if !s.dispatchOne(now, f) {
+			return
+		}
+		s.fetchQ = s.fetchQ[1:]
+	}
+}
+
+// opView captures the per-operand analysis shared by steering and rename.
+type opView struct {
+	reg      isa.RegID
+	isFP     bool
+	constant bool // R0: always ready, never renamed
+	avail    bool
+	mapped   uint32
+	home     int
+	conf     bool // confident prediction available
+	correct  bool
+}
+
+func (s *Sim) analyzeOperands(now int64, f *fetched) []opView {
+	srcs := f.dyn.Inst.Sources()
+	views := make([]opView, len(srcs))
+	if !f.vpDone {
+		// Decode-time predictor lookup and training, once per dynamic
+		// instruction (§2.2: predictions available and tables updated at
+		// decode).
+		for i, r := range srcs {
+			if r == isa.R0 {
+				continue
+			}
+			_, conf, correct := s.vp.PredictAndTrain(f.dyn.PC, i, r.IsFP(), f.dyn.SrcVal[i])
+			f.vpConf[i] = conf && s.cfg.VP != config.VPNone
+			f.vpCorrect[i] = correct
+		}
+		f.vpDone = true
+	}
+	for i, r := range srcs {
+		v := &views[i]
+		v.reg = r
+		v.isFP = r.IsFP()
+		if r == isa.R0 {
+			v.constant = true
+			v.avail = true
+			continue
+		}
+		v.home = s.table.Home(r)
+		v.mapped = s.table.MappedMask(r)
+		m := s.table.Lookup(r, v.home)
+		p := m.Provider.get()
+		v.avail = p == nil || p.done(now)
+		v.conf = f.vpConf[i]
+		v.correct = f.vpCorrect[i]
+	}
+	return views
+}
+
+// dispatchOne renames, steers and inserts one instruction (plus its
+// generated copies); it returns false when a structural resource is
+// exhausted and dispatch must retry next cycle.
+func (s *Sim) dispatchOne(now int64, f *fetched) bool {
+	views := s.analyzeOperands(now, f)
+	info := f.dyn.Info()
+
+	// Steering.
+	ops := make([]steer.Operand, 0, len(views))
+	for _, v := range views {
+		if v.constant {
+			continue
+		}
+		ops = append(ops, steer.Operand{
+			Available:       v.avail,
+			MappedIn:        v.mapped,
+			ProducerCluster: v.home,
+			Predicted:       v.conf,
+		})
+	}
+	cl := s.str.Choose(ops)
+
+	// Plan resource needs.
+	type copyPlan struct {
+		opIdx int
+		isVC  bool
+		home  int
+	}
+	var plans []copyPlan
+	for i := range views {
+		v := &views[i]
+		if v.constant {
+			continue
+		}
+		if v.mapped&(1<<uint(cl)) != 0 {
+			continue // mapped in target cluster: read locally (maybe predicted)
+		}
+		if v.conf {
+			plans = append(plans, copyPlan{opIdx: i, isVC: true, home: v.home})
+		} else {
+			plans = append(plans, copyPlan{opIdx: i, isVC: false, home: v.home})
+		}
+	}
+
+	hasDest := false
+	var destLog isa.RegID
+	if d, ok := f.dyn.Inst.Dest(); ok && d != isa.R0 {
+		hasDest = true
+		destLog = d
+	}
+
+	// Structural checks: ROB, IQ and registers for the instruction and
+	// every generated copy.
+	if s.robCount+1+len(plans) > s.cfg.ROBSize {
+		s.out.DispatchStallROB++
+		return false
+	}
+	iqNeed := make([]int, s.cfg.Clusters)
+	iqNeed[cl]++
+	regNeed := make([]int, s.cfg.Clusters)
+	if hasDest {
+		regNeed[cl]++
+	}
+	for _, p := range plans {
+		iqNeed[p.home]++
+		if !p.isVC {
+			regNeed[cl]++ // plain copies allocate the value's register in the consumer cluster
+		}
+	}
+	for c := 0; c < s.cfg.Clusters; c++ {
+		if s.iqCount[c]+iqNeed[c] > s.cfg.Cluster.IQSize {
+			s.out.DispatchStallIQ++
+			return false
+		}
+		if !s.table.CanAlloc(c, regNeed[c]) {
+			s.out.DispatchStallRegs++
+			return false
+		}
+	}
+
+	// Create copies and verification-copies (they precede the consumer
+	// in ROB order).
+	consumerSrcs := make([]source, len(views))
+	var verifs []verification
+	for i := range views {
+		v := &views[i]
+		consumerSrcs[i] = source{reg: v.reg, isFP: v.isFP}
+		if v.constant {
+			continue
+		}
+		mapping := s.table.Lookup(v.reg, cl)
+		if mapping.Valid {
+			prov := mapping.Provider
+			p := prov.get()
+			if p == nil || p.done(now) {
+				// Ready locally.
+				continue
+			}
+			if v.conf {
+				// Local predicted speculation: verified at the
+				// provider's writeback (§2.2).
+				consumerSrcs[i].predicted = true
+				consumerSrcs[i].predCorrect = v.correct
+				verifs = append(verifs, verification{opIdx: i, provider: prov, correct: v.correct})
+				s.out.PredictedOperandsUsed++
+			} else {
+				consumerSrcs[i].provider = prov
+			}
+			continue
+		}
+		// Unmapped in the target cluster: copy or verification-copy.
+		home := v.home
+		homeProv := s.table.Lookup(v.reg, home).Provider
+		if v.conf {
+			vc := s.alloc()
+			vc.isVC = true
+			vc.class = isa.ClassNone
+			vc.lat = 1
+			vc.pipe = true
+			vc.cluster = home
+			vc.dstCluster = cl
+			vc.nsrc = 1
+			vc.src[0] = source{reg: v.reg, isFP: v.isFP, provider: homeProv}
+			vc.dispatchTime = now
+			vc.vcCorrect = v.correct
+			if hp := homeProv.get(); hp != nil {
+				hp.deps = append(hp.deps, ref(vc))
+			}
+			s.iqCount[home]++
+			s.out.VerifyCopies++
+			consumerSrcs[i].predicted = true
+			consumerSrcs[i].predCorrect = v.correct
+			verifs = append(verifs, verification{opIdx: i, provider: ref(vc), remote: true, correct: v.correct})
+			s.out.PredictedOperandsUsed++
+		} else {
+			cp := s.alloc()
+			cp.isCopy = true
+			cp.class = isa.ClassNone
+			cp.lat = 1
+			cp.pipe = true
+			cp.cluster = home
+			cp.dstCluster = cl
+			cp.hasDest = true
+			cp.destLog = v.reg
+			cp.nsrc = 1
+			cp.src[0] = source{reg: v.reg, isFP: v.isFP, provider: homeProv}
+			cp.dispatchTime = now
+			if hp := homeProv.get(); hp != nil {
+				hp.deps = append(hp.deps, ref(cp))
+			}
+			if !s.table.AddCopy(v.reg, cl, ref(cp)) {
+				panic("core: copy register allocation failed after CanAlloc")
+			}
+			s.iqCount[home]++
+			s.out.Copies++
+			consumerSrcs[i].provider = ref(cp)
+		}
+	}
+
+	// The consumer itself.
+	e := s.alloc()
+	e.dyn = f.dyn
+	e.class = info.Class
+	e.lat = info.Latency
+	e.pipe = info.Pipelined
+	e.cluster = cl
+	e.nsrc = len(views)
+	for i := range consumerSrcs {
+		e.src[i] = consumerSrcs[i]
+	}
+	e.dispatchTime = now
+	e.isBranch = info.IsBranch
+	e.mispred = f.mispred
+	e.isLoad = info.IsLoad
+	e.isStore = info.IsStore
+	e.addr = f.dyn.Addr
+
+	// Register dependence edges for the reissue cascade.
+	for i := 0; i < e.nsrc; i++ {
+		if p := e.src[i].provider.get(); p != nil {
+			p.deps = append(p.deps, ref(e))
+		}
+	}
+	// Pending verifications now that the consumer exists.
+	for _, v := range verifs {
+		v.consumer = ref(e)
+		s.pendingVerifs = append(s.pendingVerifs, v)
+		e.unverified++
+	}
+
+	if hasDest {
+		free, ok := s.table.Rename(destLog, cl, ref(e))
+		if !ok {
+			panic("core: destination register allocation failed after CanAlloc")
+		}
+		e.hasDest = true
+		e.destLog = destLog
+		e.freeAtCommit = free
+	}
+	if e.isStore {
+		s.activeStores = append(s.activeStores, ref(e))
+	}
+	s.iqCount[cl]++
+	s.bal.Dispatched(cl)
+
+	if f.mispred {
+		s.blockingBranch = ref(e)
+		s.fetchBlockedPreDisp = false
+	}
+	return true
+}

@@ -1,0 +1,138 @@
+// Package interconnect models the paper's inter-cluster communication
+// network (§2.1, §4.2): for an N-cluster configuration, N×B independent
+// fully-pipelined paths, where each path is a bus that any cluster can
+// drive and that feeds one dedicated write port on a single destination
+// cluster's register file. A transfer occupies its bus for exactly one
+// cycle (issue-time reservation, like any other resource), and the value
+// arrives Latency cycles later.
+//
+// Unbounded bandwidth (the paper's default isolation configuration) is
+// modeled with PathsPerCluster == 0.
+package interconnect
+
+import "fmt"
+
+// Config describes the interconnect.
+type Config struct {
+	// Clusters is N, the number of clusters.
+	Clusters int
+	// PathsPerCluster is B, the number of buses terminating at each
+	// cluster's register file; 0 means unbounded bandwidth.
+	PathsPerCluster int
+	// Latency is the bus transfer latency in cycles (the paper evaluates
+	// 1, 2 and 4).
+	Latency int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Clusters <= 0 {
+		return fmt.Errorf("interconnect: clusters must be positive, got %d", c.Clusters)
+	}
+	if c.PathsPerCluster < 0 {
+		return fmt.Errorf("interconnect: negative paths per cluster %d", c.PathsPerCluster)
+	}
+	if c.Latency <= 0 {
+		return fmt.Errorf("interconnect: latency must be >= 1, got %d", c.Latency)
+	}
+	return nil
+}
+
+// Network tracks per-cycle bus reservations. Because buses are fully
+// pipelined, the only contended resource is the single launch slot per
+// bus per cycle; we track, per destination cluster, how many launches
+// have been booked for each cycle in a sliding window.
+type Network struct {
+	cfg Config
+	// booked[dst] maps cycle -> number of transfers launched that cycle
+	// toward dst. A ring buffer keyed by cycle keeps it O(1).
+	booked [][]int
+	window int64
+	base   []int64
+
+	// Transfers counts completed bus reservations (the paper's
+	// "communications").
+	Transfers uint64
+	// Stalls counts reservation attempts that found all buses busy.
+	Stalls uint64
+}
+
+const defaultWindow = 1024
+
+// New builds a Network; it panics on invalid configuration.
+func New(cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := &Network{cfg: cfg, window: defaultWindow}
+	n.booked = make([][]int, cfg.Clusters)
+	n.base = make([]int64, cfg.Clusters)
+	for i := range n.booked {
+		n.booked[i] = make([]int, defaultWindow)
+	}
+	return n
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Unbounded reports whether bandwidth is unlimited.
+func (n *Network) Unbounded() bool { return n.cfg.PathsPerCluster == 0 }
+
+func (n *Network) slot(dst int, cycle int64) *int {
+	// Advance the ring window if the cycle moved past it.
+	for cycle >= n.base[dst]+n.window {
+		idx := n.base[dst] % n.window
+		n.booked[dst][idx] = 0
+		n.base[dst]++
+	}
+	if cycle < n.base[dst] {
+		// Reservation in the already-expired past: treat as a fresh slot.
+		// This cannot happen with a monotonically advancing core clock.
+		return nil
+	}
+	return &n.booked[dst][cycle%n.window]
+}
+
+// CanReserve reports whether a transfer toward cluster dst may launch at
+// the given cycle.
+func (n *Network) CanReserve(dst int, cycle int64) bool {
+	if n.Unbounded() {
+		return true
+	}
+	s := n.slot(dst, cycle)
+	if s == nil {
+		return true
+	}
+	return *s < n.cfg.PathsPerCluster
+}
+
+// Reserve books a launch slot toward dst at cycle and returns the arrival
+// cycle. ok is false when every bus toward dst is busy that cycle, in
+// which case the caller must retry later (the issue logic keeps the copy
+// in its queue).
+func (n *Network) Reserve(dst int, cycle int64) (arrival int64, ok bool) {
+	if !n.CanReserve(dst, cycle) {
+		n.Stalls++
+		return 0, false
+	}
+	if !n.Unbounded() {
+		if s := n.slot(dst, cycle); s != nil {
+			*s++
+		}
+	}
+	n.Transfers++
+	return cycle + int64(n.cfg.Latency), true
+}
+
+// Reset clears reservations and statistics.
+func (n *Network) Reset() {
+	for i := range n.booked {
+		for j := range n.booked[i] {
+			n.booked[i][j] = 0
+		}
+		n.base[i] = 0
+	}
+	n.Transfers = 0
+	n.Stalls = 0
+}

@@ -1,0 +1,151 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Clusters: 4, PathsPerCluster: 1, Latency: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Clusters: 0, Latency: 1},
+		{Clusters: 2, PathsPerCluster: -1, Latency: 1},
+		{Clusters: 2, Latency: 0},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", c)
+		}
+	}
+}
+
+func TestUnboundedNeverStalls(t *testing.T) {
+	n := New(Config{Clusters: 4, PathsPerCluster: 0, Latency: 1})
+	for i := 0; i < 100; i++ {
+		if _, ok := n.Reserve(2, 10); !ok {
+			t.Fatal("unbounded network must never stall")
+		}
+	}
+	if n.Transfers != 100 || n.Stalls != 0 {
+		t.Errorf("stats = %d transfers, %d stalls", n.Transfers, n.Stalls)
+	}
+}
+
+func TestSinglePathConflict(t *testing.T) {
+	n := New(Config{Clusters: 2, PathsPerCluster: 1, Latency: 1})
+	arr, ok := n.Reserve(1, 5)
+	if !ok || arr != 6 {
+		t.Fatalf("first reserve = %d,%v", arr, ok)
+	}
+	if _, ok := n.Reserve(1, 5); ok {
+		t.Error("second reserve same cycle same dst must fail")
+	}
+	// Different destination has its own bus.
+	if _, ok := n.Reserve(0, 5); !ok {
+		t.Error("other destination must be free")
+	}
+	// Next cycle the bus is free again (fully pipelined).
+	if _, ok := n.Reserve(1, 6); !ok {
+		t.Error("bus must be free on the next cycle")
+	}
+	if n.Stalls != 1 {
+		t.Errorf("stalls = %d, want 1", n.Stalls)
+	}
+}
+
+func TestMultiplePaths(t *testing.T) {
+	n := New(Config{Clusters: 4, PathsPerCluster: 2, Latency: 4})
+	if _, ok := n.Reserve(3, 0); !ok {
+		t.Fatal("path 1 should reserve")
+	}
+	if _, ok := n.Reserve(3, 0); !ok {
+		t.Fatal("path 2 should reserve")
+	}
+	if _, ok := n.Reserve(3, 0); ok {
+		t.Fatal("third reserve must fail with 2 paths")
+	}
+	arr, ok := n.Reserve(3, 1)
+	if !ok || arr != 5 {
+		t.Errorf("latency-4 arrival = %d, want 5", arr)
+	}
+}
+
+func TestCanReserveDoesNotBook(t *testing.T) {
+	n := New(Config{Clusters: 2, PathsPerCluster: 1, Latency: 1})
+	for i := 0; i < 5; i++ {
+		if !n.CanReserve(0, 7) {
+			t.Fatal("CanReserve must not consume the slot")
+		}
+	}
+	if n.Transfers != 0 {
+		t.Error("CanReserve must not count transfers")
+	}
+}
+
+func TestWindowAdvance(t *testing.T) {
+	n := New(Config{Clusters: 2, PathsPerCluster: 1, Latency: 1})
+	n.Reserve(0, 3)
+	// Far in the future: the old booking must have expired and the ring
+	// slot reused cleanly.
+	if _, ok := n.Reserve(0, 3+defaultWindow*2); !ok {
+		t.Error("slot after window advance must be free")
+	}
+	if _, ok := n.Reserve(0, 3+defaultWindow*2); ok {
+		t.Error("second booking in same future cycle must fail")
+	}
+}
+
+func TestReset(t *testing.T) {
+	n := New(Config{Clusters: 2, PathsPerCluster: 1, Latency: 1})
+	n.Reserve(0, 1)
+	n.Reserve(0, 1)
+	n.Reset()
+	if n.Transfers != 0 || n.Stalls != 0 {
+		t.Error("reset must clear stats")
+	}
+	if _, ok := n.Reserve(0, 1); !ok {
+		t.Error("reset must clear bookings")
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New must panic on invalid config")
+		}
+	}()
+	New(Config{Clusters: 0, Latency: 1})
+}
+
+// Property: with B paths, exactly B reservations succeed per (dst, cycle).
+func TestBandwidthBoundProperty(t *testing.T) {
+	f := func(b uint8, cyc uint16) bool {
+		paths := int(b%4) + 1
+		n := New(Config{Clusters: 2, PathsPerCluster: paths, Latency: 1})
+		okCount := 0
+		for i := 0; i < 8; i++ {
+			if _, ok := n.Reserve(1, int64(cyc)); ok {
+				okCount++
+			}
+		}
+		return okCount == paths
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: arrival is always launch + latency.
+func TestArrivalLatencyProperty(t *testing.T) {
+	f := func(lat uint8, cyc uint16) bool {
+		l := int(lat%8) + 1
+		n := New(Config{Clusters: 2, PathsPerCluster: 0, Latency: l})
+		arr, ok := n.Reserve(0, int64(cyc))
+		return ok && arr == int64(cyc)+int64(l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegIDString(t *testing.T) {
+	cases := []struct {
+		r    RegID
+		want string
+	}{
+		{R0, "r0"}, {R1, "r1"}, {R29, "r29"}, {SP, "sp"}, {RA, "ra"},
+		{F0, "f0"}, {F31, "f31"}, {RegID(200), "reg?200"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("RegID(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRegIDClassification(t *testing.T) {
+	if R5.IsFP() {
+		t.Error("R5 should not be FP")
+	}
+	if !F3.IsFP() {
+		t.Error("F3 should be FP")
+	}
+	if !R0.Valid() || !F31.Valid() {
+		t.Error("architectural registers must be valid")
+	}
+	if NoReg.Valid() {
+		t.Error("NoReg must be invalid")
+	}
+}
+
+func TestEveryOpcodeHasNameAndInfo(t *testing.T) {
+	for op := Opcode(0); op < Opcode(NumOpcodes); op++ {
+		if op.String() == "" || op.String()[0] == 'o' && op.String()[1] == 'p' && op.String()[2] == '?' {
+			t.Errorf("opcode %d has no name", op)
+		}
+		info := InfoFor(op)
+		if op != NOP && op != HALT && info.Class == ClassNone {
+			t.Errorf("%v: has no FU class", op)
+		}
+		if info.Latency <= 0 {
+			t.Errorf("%v: non-positive latency %d", op, info.Latency)
+		}
+	}
+}
+
+func TestInfoConsistency(t *testing.T) {
+	for op := Opcode(0); op < Opcode(NumOpcodes); op++ {
+		info := InfoFor(op)
+		if info.IsCondBranch && !info.IsBranch {
+			t.Errorf("%v: IsCondBranch implies IsBranch", op)
+		}
+		if info.IsLoad && info.IsStore {
+			t.Errorf("%v: cannot be both load and store", op)
+		}
+		if (info.IsLoad || info.IsStore) && info.Class != ClassMem {
+			t.Errorf("%v: memory op must use ClassMem", op)
+		}
+		if info.IsLoad && !info.HasDest {
+			t.Errorf("%v: load must have destination", op)
+		}
+		if info.IsStore && info.HasDest {
+			t.Errorf("%v: store must not have destination", op)
+		}
+		if !info.Pipelined && info.Class != ClassIntMulDiv && info.Class != ClassFPMulDiv {
+			t.Errorf("%v: only divide units are non-pipelined", op)
+		}
+	}
+}
+
+func TestFUClassLatencies(t *testing.T) {
+	// The latencies the paper inherits from SimpleScalar defaults.
+	checks := map[Opcode]int{
+		ADD: 1, MUL: 3, DIV: 20, FADD: 2, FMUL: 4, FDIV: 12, LW: 1,
+	}
+	for op, want := range checks {
+		if got := InfoFor(op).Latency; got != want {
+			t.Errorf("%v latency = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestSourcesAndDest(t *testing.T) {
+	add := Inst{Op: ADD, Rd: R1, Ra: R2, Rb: R3}
+	if s := add.Sources(); len(s) != 2 || s[0] != R2 || s[1] != R3 {
+		t.Errorf("ADD sources = %v", s)
+	}
+	if d, ok := add.Dest(); !ok || d != R1 {
+		t.Errorf("ADD dest = %v, %v", d, ok)
+	}
+	sw := Inst{Op: SW, Ra: R4, Rb: R5, Imm: 8}
+	if s := sw.Sources(); len(s) != 2 || s[0] != R4 || s[1] != R5 {
+		t.Errorf("SW sources = %v", s)
+	}
+	if _, ok := sw.Dest(); ok {
+		t.Error("SW must have no dest")
+	}
+	li := Inst{Op: LI, Rd: R6, Imm: 42}
+	if s := li.Sources(); len(s) != 0 {
+		t.Errorf("LI sources = %v", s)
+	}
+	j := Inst{Op: J, Target: 7}
+	if s := j.Sources(); len(s) != 0 {
+		t.Errorf("J sources = %v", s)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: NOP}, "nop"},
+		{Inst{Op: LI, Rd: R3, Imm: -5}, "li r3, -5"},
+		{Inst{Op: LW, Rd: R1, Ra: R2, Imm: 16}, "lw r1, 16(r2)"},
+		{Inst{Op: SW, Ra: R2, Rb: R7, Imm: 8}, "sw r7, 8(r2)"},
+		{Inst{Op: BEQ, Ra: R1, Rb: R2, Target: 12}, "beq r1, r2, @12"},
+		{Inst{Op: ADD, Rd: R1, Ra: R2, Rb: R3}, "add r1, r2, r3"},
+		{Inst{Op: ADDI, Rd: R1, Ra: R2, Imm: 4}, "addi r1, r2, 4"},
+		{Inst{Op: JR, Ra: RA}, "jr ra"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.in.Op, got, c.want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for _, c := range []Class{ClassNone, ClassIntALU, ClassIntMulDiv, ClassMem, ClassFPALU, ClassFPMulDiv} {
+		if c.String() == "" {
+			t.Errorf("class %d has empty name", c)
+		}
+	}
+	if !ClassFPALU.IsFP() || !ClassFPMulDiv.IsFP() {
+		t.Error("FP classes must report IsFP")
+	}
+	if ClassIntALU.IsFP() || ClassMem.IsFP() {
+		t.Error("integer classes must not report IsFP")
+	}
+}
+
+// Property: String never panics and is non-empty for any register value.
+func TestRegStringTotal(t *testing.T) {
+	f := func(b uint8) bool { return RegID(b).String() != "" }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

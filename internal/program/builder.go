@@ -1,0 +1,231 @@
+// Package program provides an in-Go assembler for the clustervp virtual
+// ISA: a Builder with labels and fixups, and a Program bundling the code
+// with its initial data image.
+//
+// The paper compiled MediaBench C sources with Compaq's cc -O4 for Alpha;
+// here the kernels in internal/workload are written directly against this
+// builder, which plays the role of the compiler/assembler substrate.
+package program
+
+import (
+	"fmt"
+	"math"
+
+	"clustervp/internal/isa"
+)
+
+// Program is an assembled unit: a flat instruction array (PC = index) and
+// an initial data memory image.
+type Program struct {
+	Name string
+	Code []isa.Inst
+	// Data holds the initial bytes of data memory starting at address 0.
+	Data []byte
+	// Entry is the instruction index where execution starts.
+	Entry int
+}
+
+// Builder assembles a Program incrementally.
+type Builder struct {
+	name   string
+	code   []isa.Inst
+	labels map[string]int
+	fixups []fixup
+	data   []byte
+	errs   []error
+}
+
+type fixup struct {
+	pc    int
+	label string
+}
+
+// NewBuilder returns an empty Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+// PC returns the index the next emitted instruction will occupy.
+func (b *Builder) PC() int { return len(b.code) }
+
+// Label binds name to the current PC. Labels may be referenced before or
+// after they are bound.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("program %s: duplicate label %q", b.name, name))
+		return b
+	}
+	b.labels[name] = len(b.code)
+	return b
+}
+
+func (b *Builder) emit(in isa.Inst) *Builder {
+	b.code = append(b.code, in)
+	return b
+}
+
+// R emits a three-register ALU instruction: rd = ra op rb.
+func (b *Builder) R(op isa.Opcode, rd, ra, rb isa.RegID) *Builder {
+	return b.emit(isa.Inst{Op: op, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// I emits a register-immediate instruction: rd = ra op imm.
+func (b *Builder) I(op isa.Opcode, rd, ra isa.RegID, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: op, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// Li loads an integer immediate into rd.
+func (b *Builder) Li(rd isa.RegID, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.LI, Rd: rd, Imm: imm})
+}
+
+// Fli loads a floating immediate into fd.
+func (b *Builder) Fli(fd isa.RegID, v float64) *Builder {
+	return b.emit(isa.Inst{Op: isa.FLI, Rd: fd, FImm: v})
+}
+
+// Load emits a load: rd = mem[ra+off]. The opcode selects width/type
+// (LW, LB, FLW).
+func (b *Builder) Load(op isa.Opcode, rd, ra isa.RegID, off int64) *Builder {
+	return b.emit(isa.Inst{Op: op, Rd: rd, Ra: ra, Imm: off})
+}
+
+// Store emits a store: mem[ra+off] = rb (SW, SB, FSW).
+func (b *Builder) Store(op isa.Opcode, rb, ra isa.RegID, off int64) *Builder {
+	return b.emit(isa.Inst{Op: op, Ra: ra, Rb: rb, Imm: off})
+}
+
+// Br emits a conditional branch to label.
+func (b *Builder) Br(op isa.Opcode, ra, rb isa.RegID, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), label: label})
+	return b.emit(isa.Inst{Op: op, Ra: ra, Rb: rb, Target: -1})
+}
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), label: label})
+	return b.emit(isa.Inst{Op: isa.J, Target: -1})
+}
+
+// Call emits a JAL to label, writing the return address to isa.RA.
+func (b *Builder) Call(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), label: label})
+	return b.emit(isa.Inst{Op: isa.JAL, Rd: isa.RA, Target: -1})
+}
+
+// Ret emits a JR through isa.RA.
+func (b *Builder) Ret() *Builder {
+	return b.emit(isa.Inst{Op: isa.JR, Ra: isa.RA})
+}
+
+// Jr emits an indirect jump through ra.
+func (b *Builder) Jr(ra isa.RegID) *Builder {
+	return b.emit(isa.Inst{Op: isa.JR, Ra: ra})
+}
+
+// Nop emits a NOP.
+func (b *Builder) Nop() *Builder { return b.emit(isa.Inst{Op: isa.NOP}) }
+
+// Halt emits a HALT.
+func (b *Builder) Halt() *Builder { return b.emit(isa.Inst{Op: isa.HALT}) }
+
+// Mov emits rd = ra (as ADDI rd, ra, 0 or FMOV for FP registers).
+func (b *Builder) Mov(rd, ra isa.RegID) *Builder {
+	if rd.IsFP() {
+		return b.emit(isa.Inst{Op: isa.FMOV, Rd: rd, Ra: ra})
+	}
+	return b.I(isa.ADDI, rd, ra, 0)
+}
+
+// DataBytes appends raw bytes to the data image and returns their base
+// address.
+func (b *Builder) DataBytes(bytes []byte) int64 {
+	base := int64(len(b.data))
+	b.data = append(b.data, bytes...)
+	return base
+}
+
+// DataWords appends 64-bit words to the data image and returns their base
+// address (8-byte aligned).
+func (b *Builder) DataWords(words []int64) int64 {
+	b.align(8)
+	base := int64(len(b.data))
+	for _, w := range words {
+		b.data = append(b.data,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return base
+}
+
+// DataFloats appends float64 values to the data image and returns their
+// base address.
+func (b *Builder) DataFloats(vals []float64) int64 {
+	words := make([]int64, len(vals))
+	for i, v := range vals {
+		words[i] = int64(floatBits(v))
+	}
+	return b.DataWords(words)
+}
+
+// Reserve appends n zero bytes to the data image and returns their base
+// address (8-byte aligned).
+func (b *Builder) Reserve(n int) int64 {
+	b.align(8)
+	base := int64(len(b.data))
+	b.data = append(b.data, make([]byte, n)...)
+	return base
+}
+
+func (b *Builder) align(n int) {
+	for len(b.data)%n != 0 {
+		b.data = append(b.data, 0)
+	}
+}
+
+// Build resolves all label fixups and returns the assembled Program. It
+// fails if a referenced label was never bound, a branch target is out of
+// range, or the program does not end with the possibility of halting.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("program %s: undefined label %q at pc %d", b.name, f.label, f.pc)
+		}
+		b.code[f.pc].Target = target
+	}
+	for pc, in := range b.code {
+		info := isa.InfoFor(in.Op)
+		if info.IsBranch && !info.IsIndirect {
+			if in.Target < 0 || in.Target >= len(b.code) {
+				return nil, fmt.Errorf("program %s: pc %d: branch target %d out of range", b.name, pc, in.Target)
+			}
+		}
+	}
+	halts := false
+	for _, in := range b.code {
+		if in.Op == isa.HALT {
+			halts = true
+			break
+		}
+	}
+	if !halts {
+		return nil, fmt.Errorf("program %s: no HALT instruction", b.name)
+	}
+	return &Program{Name: b.name, Code: b.code, Data: b.data}, nil
+}
+
+// MustBuild is Build that panics on error; for use with statically
+// correct, test-covered kernels.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }

@@ -1,0 +1,152 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"clustervp/internal/isa"
+)
+
+func TestBuildResolvesLabels(t *testing.T) {
+	b := NewBuilder("t")
+	b.Li(isa.R1, 0)
+	b.Label("loop")
+	b.I(isa.ADDI, isa.R1, isa.R1, 1)
+	b.Li(isa.R2, 10)
+	b.Br(isa.BLT, isa.R1, isa.R2, "loop")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[3].Target != 1 {
+		t.Errorf("branch target = %d, want 1", p.Code[3].Target)
+	}
+}
+
+func TestBuildForwardReference(t *testing.T) {
+	b := NewBuilder("t")
+	b.Jmp("end")
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Target != 2 {
+		t.Errorf("jump target = %d, want 2", p.Code[0].Target)
+	}
+}
+
+func TestBuildUndefinedLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Jmp("nowhere")
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Fatalf("expected undefined-label error, got %v", err)
+	}
+}
+
+func TestBuildDuplicateLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Fatalf("expected duplicate-label error, got %v", err)
+	}
+}
+
+func TestBuildRequiresHalt(t *testing.T) {
+	b := NewBuilder("t")
+	b.Nop()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "no HALT") {
+		t.Fatalf("expected no-HALT error, got %v", err)
+	}
+}
+
+func TestDataLayout(t *testing.T) {
+	b := NewBuilder("t")
+	addr0 := b.DataBytes([]byte{1, 2, 3})
+	addr1 := b.DataWords([]int64{0x1122334455667788})
+	addr2 := b.DataFloats([]float64{1.5})
+	addr3 := b.Reserve(16)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr0 != 0 {
+		t.Errorf("bytes base = %d, want 0", addr0)
+	}
+	if addr1 != 8 {
+		t.Errorf("words base = %d, want 8 (aligned)", addr1)
+	}
+	if addr2 != 16 {
+		t.Errorf("floats base = %d, want 16", addr2)
+	}
+	if addr3 != 24 {
+		t.Errorf("reserve base = %d, want 24", addr3)
+	}
+	if p.Data[8] != 0x88 || p.Data[15] != 0x11 {
+		t.Errorf("little-endian word layout wrong: % x", p.Data[8:16])
+	}
+	if len(p.Data) != 24+16 {
+		t.Errorf("data length = %d, want 40", len(p.Data))
+	}
+}
+
+func TestMovSelectsFPForm(t *testing.T) {
+	b := NewBuilder("t")
+	b.Mov(isa.R1, isa.R2)
+	b.Mov(isa.F1, isa.F2)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Op != isa.ADDI {
+		t.Errorf("int mov op = %v, want ADDI", p.Code[0].Op)
+	}
+	if p.Code[1].Op != isa.FMOV {
+		t.Errorf("fp mov op = %v, want FMOV", p.Code[1].Op)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	b := NewBuilder("t")
+	b.Call("fn")
+	b.Halt()
+	b.Label("fn")
+	b.Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Op != isa.JAL || p.Code[0].Target != 2 || p.Code[0].Rd != isa.RA {
+		t.Errorf("call = %+v", p.Code[0])
+	}
+	if p.Code[2].Op != isa.JR || p.Code[2].Ra != isa.RA {
+		t.Errorf("ret = %+v", p.Code[2])
+	}
+}
+
+func TestBranchTargetRangeChecked(t *testing.T) {
+	b := NewBuilder("t")
+	b.code = append(b.code, isa.Inst{Op: isa.J, Target: 99})
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("expected out-of-range error, got %v", err)
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on invalid program")
+		}
+	}()
+	NewBuilder("bad").MustBuild()
+}

@@ -1,0 +1,197 @@
+// Package stats defines the measurement record the timing simulator
+// produces and the derived metrics the paper reports: IPC, the normalized
+// IPCR ratio (§2.4), communications per instruction (Figure 3b), the
+// NREADY workload-imbalance figure (§2.3.2, Figure 3a) and value/branch
+// predictor accounting (Figure 5b).
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"clustervp/internal/vpred"
+)
+
+// Results holds all counters from one simulation run.
+type Results struct {
+	Config    string
+	Benchmark string
+
+	// Cycles is the total simulated cycles; Instructions the committed
+	// program instructions (copies excluded).
+	Cycles       int64
+	Instructions uint64
+
+	// Copies is the number of plain copy instructions dispatched;
+	// VerifyCopies the number of verification-copy instructions
+	// dispatched; BusTransfers the values actually sent over
+	// inter-cluster wires (copies + mispredicted verification forwards).
+	Copies       uint64
+	VerifyCopies uint64
+	BusTransfers uint64
+	// BusStalls counts issue attempts blocked on bus bandwidth.
+	BusStalls uint64
+
+	// Reissues counts selective-reissue events (value misspeculation
+	// recovery, §2.2).
+	Reissues uint64
+	// PredictedOperandsUsed counts source operands dispatched with a
+	// confident predicted value; PredictedOperandsWrong the subset that
+	// later failed verification.
+	PredictedOperandsUsed  uint64
+	PredictedOperandsWrong uint64
+
+	// NReadySum accumulates the per-cycle NREADY imbalance figure; the
+	// reported imbalance is NReadySum/Cycles.
+	NReadySum uint64
+
+	// Branch predictor accounting.
+	BranchSeen, BranchHit uint64
+
+	// Value predictor accounting (Figure 5b).
+	VP vpred.Stats
+
+	// Cache accounting.
+	L1IMisses, L1DMisses, L2Misses uint64
+
+	// DispatchStallROB/IQ/Regs count cycles dispatch stopped for each
+	// resource (diagnostics).
+	DispatchStallROB, DispatchStallIQ, DispatchStallRegs uint64
+}
+
+// IPC is committed instructions per cycle.
+func (r Results) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// CommPerInstr is inter-cluster value transfers per committed
+// instruction (Figure 3b).
+func (r Results) CommPerInstr() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.BusTransfers) / float64(r.Instructions)
+}
+
+// Imbalance is the average NREADY figure per cycle (Figure 3a).
+func (r Results) Imbalance() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.NReadySum) / float64(r.Cycles)
+}
+
+// BranchAccuracy is the control-flow prediction hit rate.
+func (r Results) BranchAccuracy() float64 {
+	if r.BranchSeen == 0 {
+		return 1
+	}
+	return float64(r.BranchHit) / float64(r.BranchSeen)
+}
+
+// String renders a one-line summary.
+func (r Results) String() string {
+	return fmt.Sprintf("%s/%s: IPC=%.3f cycles=%d instrs=%d comm/instr=%.4f imbalance=%.3f reissues=%d",
+		r.Config, r.Benchmark, r.IPC(), r.Cycles, r.Instructions, r.CommPerInstr(), r.Imbalance(), r.Reissues)
+}
+
+// IPCR is the normalized N-cluster IPC ratio of §2.4: IPC of the
+// clustered configuration over IPC of the centralized one. Its maximum
+// meaningful value is 1.
+func IPCR(clustered, centralized Results) float64 {
+	c := centralized.IPC()
+	if c == 0 {
+		return 0
+	}
+	return clustered.IPC() / c
+}
+
+// Aggregate combines per-benchmark results into a suite-level record:
+// cycles and instruction counts are summed (so IPC becomes the
+// instruction-weighted harmonic-style suite IPC the paper plots as
+// "average"), and the event counters are summed.
+func Aggregate(name string, rs []Results) Results {
+	agg := Results{Config: name, Benchmark: "suite"}
+	for _, r := range rs {
+		agg.Cycles += r.Cycles
+		agg.Instructions += r.Instructions
+		agg.Copies += r.Copies
+		agg.VerifyCopies += r.VerifyCopies
+		agg.BusTransfers += r.BusTransfers
+		agg.BusStalls += r.BusStalls
+		agg.Reissues += r.Reissues
+		agg.PredictedOperandsUsed += r.PredictedOperandsUsed
+		agg.PredictedOperandsWrong += r.PredictedOperandsWrong
+		agg.NReadySum += r.NReadySum
+		agg.BranchSeen += r.BranchSeen
+		agg.BranchHit += r.BranchHit
+		agg.VP.Lookups += r.VP.Lookups
+		agg.VP.Confident += r.VP.Confident
+		agg.VP.ConfidentCorrect += r.VP.ConfidentCorrect
+		agg.L1IMisses += r.L1IMisses
+		agg.L1DMisses += r.L1DMisses
+		agg.L2Misses += r.L2Misses
+		agg.DispatchStallROB += r.DispatchStallROB
+		agg.DispatchStallIQ += r.DispatchStallIQ
+		agg.DispatchStallRegs += r.DispatchStallRegs
+	}
+	return agg
+}
+
+// Table formats rows of (label, values...) with a header into an aligned
+// text table, used by cmd/experiments to print the paper's figures.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDerivedMetrics(t *testing.T) {
+	r := Results{
+		Cycles:       1000,
+		Instructions: 2500,
+		BusTransfers: 250,
+		NReadySum:    500,
+		BranchSeen:   100,
+		BranchHit:    95,
+	}
+	if got := r.IPC(); got != 2.5 {
+		t.Errorf("IPC = %v, want 2.5", got)
+	}
+	if got := r.CommPerInstr(); got != 0.1 {
+		t.Errorf("CommPerInstr = %v, want 0.1", got)
+	}
+	if got := r.Imbalance(); got != 0.5 {
+		t.Errorf("Imbalance = %v, want 0.5", got)
+	}
+	if got := r.BranchAccuracy(); got != 0.95 {
+		t.Errorf("BranchAccuracy = %v, want 0.95", got)
+	}
+}
+
+func TestZeroSafeMetrics(t *testing.T) {
+	var r Results
+	if r.IPC() != 0 || r.CommPerInstr() != 0 || r.Imbalance() != 0 {
+		t.Error("zero results must yield zero ratios")
+	}
+	if r.BranchAccuracy() != 1 {
+		t.Error("no branches means accuracy 1")
+	}
+	if IPCR(r, r) != 0 {
+		t.Error("IPCR with zero centralized IPC must be 0")
+	}
+}
+
+func TestIPCR(t *testing.T) {
+	clustered := Results{Cycles: 100, Instructions: 300}
+	central := Results{Cycles: 100, Instructions: 400}
+	if got := IPCR(clustered, central); got != 0.75 {
+		t.Errorf("IPCR = %v, want 0.75", got)
+	}
+}
+
+func TestAggregateSumsCounters(t *testing.T) {
+	a := Results{Cycles: 100, Instructions: 200, Copies: 10, BusTransfers: 5, Reissues: 1, NReadySum: 50}
+	b := Results{Cycles: 300, Instructions: 200, Copies: 30, BusTransfers: 15, Reissues: 2, NReadySum: 150}
+	agg := Aggregate("suite", []Results{a, b})
+	if agg.Cycles != 400 || agg.Instructions != 400 {
+		t.Errorf("aggregate cycles/instrs = %d/%d", agg.Cycles, agg.Instructions)
+	}
+	if agg.IPC() != 1.0 {
+		t.Errorf("aggregate IPC = %v, want 1.0 (400/400)", agg.IPC())
+	}
+	if agg.Copies != 40 || agg.BusTransfers != 20 || agg.Reissues != 3 || agg.NReadySum != 200 {
+		t.Error("event counters must sum")
+	}
+	if agg.Config != "suite" || agg.Benchmark != "suite" {
+		t.Error("aggregate labels wrong")
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	agg := Aggregate("x", nil)
+	if agg.IPC() != 0 {
+		t.Error("empty aggregate must be zero")
+	}
+}
+
+func TestResultsString(t *testing.T) {
+	r := Results{Config: "4cluster", Benchmark: "cjpeg", Cycles: 10, Instructions: 20}
+	s := r.String()
+	for _, want := range []string{"4cluster", "cjpeg", "IPC=2.000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "T", Header: []string{"name", "value"}}
+	tb.Add("abc", "1.0")
+	tb.Add("a-very-long-label", "2.25")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title + header + separator + 2 rows
+		t.Fatalf("table lines = %d: %q", len(lines), s)
+	}
+	if lines[0] != "T" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Errorf("separator line = %q", lines[2])
+	}
+	// Columns align: "value" column starts at the same offset in all rows.
+	idx := strings.Index(lines[1], "value")
+	if lines[3][idx-2:idx] != "  " && !strings.Contains(lines[3], "1.0") {
+		t.Errorf("row misaligned: %q", lines[3])
+	}
+}
+
+// Property: Aggregate's totals equal the sum of parts for arbitrary
+// inputs.
+func TestAggregateAdditivityProperty(t *testing.T) {
+	f := func(cycles []uint16, instrs []uint16) bool {
+		n := len(cycles)
+		if len(instrs) < n {
+			n = len(instrs)
+		}
+		var rs []Results
+		var wantCyc int64
+		var wantIns uint64
+		for i := 0; i < n; i++ {
+			r := Results{Cycles: int64(cycles[i]), Instructions: uint64(instrs[i])}
+			wantCyc += r.Cycles
+			wantIns += r.Instructions
+			rs = append(rs, r)
+		}
+		agg := Aggregate("p", rs)
+		return agg.Cycles == wantCyc && agg.Instructions == wantIns
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package steer
+
+import "clustervp/internal/config"
+
+// This file implements the steering baselines the paper compares against
+// conceptually in §5 (related work), used by the ablation benchmarks:
+//
+//   - RoundRobin: communication-blind trace-processor-style distribution
+//     ("likely to result in many inter-cluster communications since they
+//     are not taken into account by the partitioning scheme", §5).
+//   - LoadOnly: pure workload balancing, ignoring dependences — the
+//     opposite extreme.
+//   - DepFIFO: an approximation of the Dependence-based paradigm
+//     [Palacharla et al.]: follow the producer of the first pending
+//     operand ("same FIFO"), with no explicit balance mechanism; new
+//     slices start on the cluster after the previous allocation.
+//
+// They satisfy the same Chooser interface as the paper's Steerer so the
+// core can swap them in.
+
+// Chooser selects a cluster for one instruction given its operand views.
+type Chooser interface {
+	Choose(ops []Operand) int
+	Balancer() *Balancer
+}
+
+// RoundRobin distributes instructions cyclically, ignoring operands.
+type RoundRobin struct {
+	clusters int
+	next     int
+	bal      *Balancer
+}
+
+// NewRoundRobin builds a round-robin chooser.
+func NewRoundRobin(cfg config.Config, bal *Balancer) *RoundRobin {
+	return &RoundRobin{clusters: cfg.Clusters, bal: bal}
+}
+
+// Choose implements Chooser.
+func (r *RoundRobin) Choose([]Operand) int {
+	c := r.next
+	r.next = (r.next + 1) % r.clusters
+	return c
+}
+
+// Balancer implements Chooser.
+func (r *RoundRobin) Balancer() *Balancer { return r.bal }
+
+// LoadOnly always picks the least-loaded cluster, ignoring dependences.
+type LoadOnly struct {
+	bal *Balancer
+}
+
+// NewLoadOnly builds a load-only chooser.
+func NewLoadOnly(_ config.Config, bal *Balancer) *LoadOnly { return &LoadOnly{bal: bal} }
+
+// Choose implements Chooser.
+func (l *LoadOnly) Choose([]Operand) int { return l.bal.LeastLoaded(0) }
+
+// Balancer implements Chooser.
+func (l *LoadOnly) Balancer() *Balancer { return l.bal }
+
+// DepFIFO approximates dependence-based steering: an instruction with a
+// pending operand follows that operand's producer cluster; an
+// instruction whose operands are all ready starts a new dependence
+// slice on the cluster after the last slice start (implicit balancing
+// via FIFO allocation, as in the dependence-based paradigm).
+type DepFIFO struct {
+	clusters  int
+	lastSlice int
+	bal       *Balancer
+}
+
+// NewDepFIFO builds a dependence-FIFO chooser.
+func NewDepFIFO(cfg config.Config, bal *Balancer) *DepFIFO {
+	return &DepFIFO{clusters: cfg.Clusters, bal: bal}
+}
+
+// Choose implements Chooser.
+func (d *DepFIFO) Choose(ops []Operand) int {
+	for _, op := range ops {
+		if !op.Available {
+			return op.ProducerCluster
+		}
+	}
+	// New slice: next cluster in FIFO-allocation order.
+	d.lastSlice = (d.lastSlice + 1) % d.clusters
+	return d.lastSlice
+}
+
+// Balancer implements Chooser.
+func (d *DepFIFO) Balancer() *Balancer { return d.bal }
+
+var (
+	_ Chooser = (*Steerer)(nil)
+	_ Chooser = (*RoundRobin)(nil)
+	_ Chooser = (*LoadOnly)(nil)
+	_ Chooser = (*DepFIFO)(nil)
+)

@@ -1,0 +1,187 @@
+// Package steer implements the paper's dynamic instruction-steering
+// heuristics (§2.3, §3): the Baseline scheme (an enhanced "Advanced RMBS"
+// generalized to N homogeneous clusters), the §3.2 Modified scheme, and
+// the §3.3 VPB (Value Prediction Based) scheme, together with the DCOUNT
+// workload-balance counters the steering decisions consult.
+package steer
+
+import "clustervp/internal/config"
+
+// Operand is the steering-relevant view of one source operand at
+// dispatch.
+type Operand struct {
+	// Available is true when the operand's value has already been
+	// produced somewhere (§2.3.1 "available at dispatch time").
+	Available bool
+	// MappedIn is a bitmask of clusters holding a valid mapping.
+	MappedIn uint32
+	// ProducerCluster is the cluster where a pending operand is being
+	// produced (meaningful when !Available).
+	ProducerCluster int
+	// Predicted is true when the value predictor produced a confident
+	// prediction for this operand.
+	Predicted bool
+}
+
+// Balancer maintains the paper's DCOUNT workload counters: dispatching
+// to cluster c adds N-1 to counter c and subtracts 1 from every other, so
+// counters always sum to zero and counter c equals N times the surplus of
+// cluster c over the per-cluster average (§2.3.2).
+type Balancer struct {
+	counts []int64
+}
+
+// NewBalancer builds a Balancer for n clusters.
+func NewBalancer(n int) *Balancer { return &Balancer{counts: make([]int64, n)} }
+
+// Dispatched records an instruction steered to cluster c.
+func (b *Balancer) Dispatched(c int) {
+	n := int64(len(b.counts))
+	for i := range b.counts {
+		b.counts[i]--
+	}
+	b.counts[c] += n
+}
+
+// Imbalance is the maximum absolute counter value.
+func (b *Balancer) Imbalance() int64 {
+	var m int64
+	for _, v := range b.counts {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Count returns cluster c's counter.
+func (b *Balancer) Count(c int) int64 { return b.counts[c] }
+
+// LeastLoaded returns the cluster with the minimum counter among those in
+// mask (a bitmask; 0 means all clusters). Ties break toward the lower
+// cluster index.
+func (b *Balancer) LeastLoaded(mask uint32) int {
+	best := -1
+	for i, v := range b.counts {
+		if mask != 0 && mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if best == -1 || v < b.counts[best] {
+			best = i
+		}
+	}
+	if best == -1 {
+		best = 0
+	}
+	return best
+}
+
+// Reset zeroes the counters.
+func (b *Balancer) Reset() {
+	for i := range b.counts {
+		b.counts[i] = 0
+	}
+}
+
+// Steerer chooses a cluster for each dispatched instruction.
+type Steerer struct {
+	kind      config.SteeringKind
+	clusters  int
+	threshold int64 // rule-1 imbalance threshold
+	vpbThresh int64 // VPB M2 threshold
+	allMask   uint32
+	bal       *Balancer
+}
+
+// New builds a Steerer from the machine configuration, sharing the given
+// Balancer (the core also reads it for statistics).
+func New(cfg config.Config, bal *Balancer) *Steerer {
+	return &Steerer{
+		kind:      cfg.Steering,
+		clusters:  cfg.Clusters,
+		threshold: int64(cfg.BalanceThreshold),
+		vpbThresh: int64(cfg.VPBThreshold),
+		allMask:   (1 << uint(cfg.Clusters)) - 1,
+		bal:       bal,
+	}
+}
+
+// Choose implements the §3.1 algorithm with the §3.2/§3.3 modifications:
+//
+//  1. If the workload imbalance exceeds the threshold, send the
+//     instruction to the least loaded cluster.
+//  2. Otherwise identify the clusters with minimum communication penalty:
+//     2.1 if any source operand is pending, the clusters producing the
+//     pending operands; 2.2 else the clusters where the most operands
+//     are mapped; 2.3 else all clusters.
+//  3. Pick the least loaded cluster among the candidates.
+//
+// Under Modified/VPB steering, confidently predicted operands count as
+// available in rule 2.1 (M1); under Modified always — and under VPB only
+// when imbalance > VPBThreshold — they also count as mapped in every
+// cluster in rule 2.2 (M2).
+func (s *Steerer) Choose(ops []Operand) int {
+	if s.clusters == 1 {
+		return 0
+	}
+	imbalance := s.bal.Imbalance()
+	if imbalance > s.threshold {
+		return s.bal.LeastLoaded(0)
+	}
+
+	useM1 := s.kind == config.SteerModified || s.kind == config.SteerVPB
+	useM2 := s.kind == config.SteerModified ||
+		(s.kind == config.SteerVPB && imbalance > s.vpbThresh)
+
+	// Rule 2.1: pending operands pin the candidates to their producer
+	// clusters.
+	var pendingMask uint32
+	for _, op := range ops {
+		avail := op.Available
+		if useM1 && op.Predicted {
+			avail = true
+		}
+		if !avail {
+			pendingMask |= 1 << uint(op.ProducerCluster)
+		}
+	}
+	if pendingMask != 0 {
+		return s.bal.LeastLoaded(pendingMask)
+	}
+
+	// Rule 2.2: clusters with the greatest number of mapped operands.
+	if len(ops) > 0 {
+		best := -1
+		var bestMask uint32
+		for c := 0; c < s.clusters; c++ {
+			n := 0
+			for _, op := range ops {
+				mapped := op.MappedIn&(1<<uint(c)) != 0
+				if useM2 && op.Predicted {
+					mapped = true
+				}
+				if mapped {
+					n++
+				}
+			}
+			if n > best {
+				best = n
+				bestMask = 1 << uint(c)
+			} else if n == best {
+				bestMask |= 1 << uint(c)
+			}
+		}
+		if best > 0 {
+			return s.bal.LeastLoaded(bestMask)
+		}
+	}
+
+	// Rule 2.3: no constraints.
+	return s.bal.LeastLoaded(s.allMask)
+}
+
+// Balancer returns the shared balancer.
+func (s *Steerer) Balancer() *Balancer { return s.bal }

@@ -1,0 +1,236 @@
+package steer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clustervp/internal/config"
+)
+
+func cfg4(kind config.SteeringKind) config.Config {
+	c := config.Preset(4)
+	c.Steering = kind
+	return c
+}
+
+func TestBalancerInvariantSumZero(t *testing.T) {
+	b := NewBalancer(4)
+	seq := []int{0, 1, 1, 2, 3, 3, 3, 0}
+	for _, c := range seq {
+		b.Dispatched(c)
+	}
+	var sum int64
+	for i := 0; i < 4; i++ {
+		sum += b.Count(i)
+	}
+	if sum != 0 {
+		t.Errorf("DCOUNT counters must sum to zero, got %d", sum)
+	}
+}
+
+func TestBalancerCountsSurplus(t *testing.T) {
+	b := NewBalancer(4)
+	// 4 dispatches all to cluster 0: counter 0 = 4*(4-1) - 0 = 12,
+	// which is N * (4 - 1 average) = 4*3.
+	for i := 0; i < 4; i++ {
+		b.Dispatched(0)
+	}
+	if b.Count(0) != 12 {
+		t.Errorf("count(0) = %d, want 12", b.Count(0))
+	}
+	if b.Imbalance() != 12 {
+		t.Errorf("imbalance = %d, want 12", b.Imbalance())
+	}
+}
+
+func TestLeastLoadedRespectsMask(t *testing.T) {
+	b := NewBalancer(4)
+	b.Dispatched(1) // cluster 1 loaded, others at -1
+	if got := b.LeastLoaded(0); got == 1 {
+		t.Error("least loaded must not be the loaded cluster")
+	}
+	if got := b.LeastLoaded(1 << 1); got != 1 {
+		t.Errorf("masked least loaded = %d, want 1", got)
+	}
+	if got := b.LeastLoaded(0b0110); got != 2 {
+		t.Errorf("masked least loaded = %d, want 2", got)
+	}
+}
+
+func TestSingleClusterAlwaysZero(t *testing.T) {
+	c := config.Preset(1)
+	s := New(c, NewBalancer(1))
+	if got := s.Choose([]Operand{{Available: false, ProducerCluster: 0}}); got != 0 {
+		t.Errorf("1-cluster steering = %d", got)
+	}
+}
+
+func TestRule1ImbalanceOverride(t *testing.T) {
+	s := New(cfg4(config.SteerBaseline), NewBalancer(4))
+	// Push cluster 0 far above the threshold (32 for 4 clusters).
+	for i := 0; i < 20; i++ {
+		s.Balancer().Dispatched(0)
+	}
+	// Even though the operand pins to cluster 0, rule 1 must win.
+	got := s.Choose([]Operand{{Available: false, ProducerCluster: 0}})
+	if got == 0 {
+		t.Error("rule 1 must override communication affinity under high imbalance")
+	}
+}
+
+func TestRule21PendingOperandPins(t *testing.T) {
+	s := New(cfg4(config.SteerBaseline), NewBalancer(4))
+	got := s.Choose([]Operand{
+		{Available: false, ProducerCluster: 2},
+		{Available: true, MappedIn: 1 << 0},
+	})
+	if got != 2 {
+		t.Errorf("pending operand should pin to cluster 2, got %d", got)
+	}
+}
+
+func TestRule21TwoPendingPicksLeastLoaded(t *testing.T) {
+	b := NewBalancer(4)
+	s := New(cfg4(config.SteerBaseline), b)
+	b.Dispatched(1) // cluster 1 slightly loaded
+	got := s.Choose([]Operand{
+		{Available: false, ProducerCluster: 1},
+		{Available: false, ProducerCluster: 3},
+	})
+	if got != 3 {
+		t.Errorf("between producers 1 and 3, least loaded is 3; got %d", got)
+	}
+}
+
+func TestRule22MostMappedWins(t *testing.T) {
+	s := New(cfg4(config.SteerBaseline), NewBalancer(4))
+	got := s.Choose([]Operand{
+		{Available: true, MappedIn: 1<<1 | 1<<2},
+		{Available: true, MappedIn: 1 << 1},
+	})
+	if got != 1 {
+		t.Errorf("cluster 1 maps both operands, got %d", got)
+	}
+}
+
+func TestRule23NoOperandsLeastLoaded(t *testing.T) {
+	b := NewBalancer(4)
+	s := New(cfg4(config.SteerBaseline), b)
+	b.Dispatched(0)
+	b.Dispatched(1)
+	b.Dispatched(2)
+	if got := s.Choose(nil); got != 3 {
+		t.Errorf("no-operand instruction should go to least loaded 3, got %d", got)
+	}
+}
+
+func TestBaselineIgnoresPrediction(t *testing.T) {
+	s := New(cfg4(config.SteerBaseline), NewBalancer(4))
+	got := s.Choose([]Operand{
+		{Available: false, ProducerCluster: 2, Predicted: true},
+	})
+	if got != 2 {
+		t.Errorf("baseline must pin to producer even when predicted, got %d", got)
+	}
+}
+
+func TestModifiedM1TreatsPredictedAvailable(t *testing.T) {
+	b := NewBalancer(4)
+	s := New(cfg4(config.SteerModified), b)
+	b.Dispatched(2) // make 2 NOT least loaded
+	// Predicted pending operand: M1 lifts the rule-2.1 pin; M2 makes it
+	// mapped everywhere, so rule 2.2 gives all clusters; least loaded of
+	// the remaining picked.
+	got := s.Choose([]Operand{
+		{Available: false, ProducerCluster: 2, Predicted: true},
+	})
+	if got == 2 {
+		t.Error("modified steering must not pin predicted operand to its producer")
+	}
+}
+
+func TestVPBM2OnlyUnderImbalance(t *testing.T) {
+	// Balanced machine: VPB uses M1 but NOT M2, so a predicted operand
+	// mapped only in cluster 1 still biases rule 2.2 to cluster 1.
+	b := NewBalancer(4)
+	s := New(cfg4(config.SteerVPB), b)
+	got := s.Choose([]Operand{
+		{Available: true, MappedIn: 1 << 1, Predicted: true},
+		{Available: false, ProducerCluster: 1, Predicted: true}, // M1: treated available
+	})
+	if got != 1 {
+		t.Errorf("balanced VPB should respect the mapping (cluster 1), got %d", got)
+	}
+	// Now raise imbalance above VPBThreshold (16): M2 kicks in and the
+	// mapping constraint dissolves; the least loaded cluster wins.
+	for i := 0; i < 7; i++ {
+		b.Dispatched(1) // imbalance = 7*4 = 28 > 16, still <= 32 (rule 1 off)
+	}
+	got = s.Choose([]Operand{
+		{Available: true, MappedIn: 1 << 1, Predicted: true},
+	})
+	if got == 1 {
+		t.Error("imbalanced VPB should free the predicted operand from its mapping")
+	}
+}
+
+func TestVPBRule1StillWins(t *testing.T) {
+	b := NewBalancer(4)
+	s := New(cfg4(config.SteerVPB), b)
+	for i := 0; i < 12; i++ {
+		b.Dispatched(1) // imbalance 48 > 32
+	}
+	got := s.Choose([]Operand{{Available: false, ProducerCluster: 1}})
+	if got == 1 {
+		t.Error("rule 1 must send to least loaded under extreme imbalance")
+	}
+}
+
+func TestUnmappedOperandsFallToRule23(t *testing.T) {
+	// Operands available but mapped nowhere (e.g. constant-like): rule
+	// 2.2 finds zero mapped, falls through to 2.3.
+	b := NewBalancer(4)
+	s := New(cfg4(config.SteerBaseline), b)
+	b.Dispatched(0)
+	got := s.Choose([]Operand{{Available: true, MappedIn: 0}})
+	if got == 0 {
+		t.Error("should pick a least-loaded cluster, not the loaded one")
+	}
+}
+
+// Property: DCOUNT counters always sum to zero.
+func TestBalancerSumZeroProperty(t *testing.T) {
+	f := func(seq []uint8) bool {
+		b := NewBalancer(4)
+		for _, v := range seq {
+			b.Dispatched(int(v % 4))
+		}
+		var sum int64
+		for i := 0; i < 4; i++ {
+			sum += b.Count(i)
+		}
+		return sum == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Choose always returns a valid cluster index.
+func TestChooseRangeProperty(t *testing.T) {
+	b := NewBalancer(4)
+	s := New(cfg4(config.SteerVPB), b)
+	f := func(avail, pred bool, mapped uint8, prod uint8, disp uint8) bool {
+		b.Dispatched(int(disp % 4))
+		got := s.Choose([]Operand{{
+			Available:       avail,
+			Predicted:       pred,
+			MappedIn:        uint32(mapped) & 0xF,
+			ProducerCluster: int(prod % 4),
+		}})
+		return got >= 0 && got < 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,351 @@
+// Package trace functionally executes an assembled program and yields the
+// dynamic instruction stream, including the actual operand and result
+// values every instruction observed.
+//
+// The timing simulator in internal/core is trace-driven: it consumes
+// DynInst records in program order. Because each record carries the real
+// source-operand values, the stride value predictor in internal/vpred can
+// be trained and evaluated against genuine value streams, exactly as the
+// paper's modified SimpleScalar did with its functional core.
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"clustervp/internal/isa"
+	"clustervp/internal/program"
+)
+
+// MaxSrc is the maximum number of register sources per instruction.
+const MaxSrc = 2
+
+// DynInst is one dynamic (executed) instruction.
+type DynInst struct {
+	// Seq numbers committed program instructions from 0.
+	Seq uint64
+	// PC is the static instruction index; the byte address for the
+	// instruction cache is PC*4.
+	PC int
+	// Inst is the static instruction.
+	Inst isa.Inst
+	// NextPC is the PC of the dynamically following instruction.
+	NextPC int
+	// Taken is true for branches that were taken.
+	Taken bool
+	// SrcVal holds the raw 64-bit values of the register sources, in
+	// operand order (FP values as IEEE-754 bits). Only the first
+	// len(Inst.Sources()) entries are meaningful.
+	SrcVal [MaxSrc]uint64
+	// DstVal is the raw result value when the instruction writes a
+	// register.
+	DstVal uint64
+	// Addr is the effective byte address for loads and stores.
+	Addr uint64
+}
+
+// Info returns the static opcode description.
+func (d *DynInst) Info() isa.Info { return isa.InfoFor(d.Inst.Op) }
+
+// Executor runs a Program functionally and produces DynInst records one
+// at a time.
+type Executor struct {
+	prog *program.Program
+	mem  *Memory
+	regs [isa.NumRegs]uint64
+	pc   int
+	seq  uint64
+	done bool
+	err  error
+}
+
+// MemSize is the size of the flat data memory image (16 MiB).
+const MemSize = 1 << 24
+
+// Memory is a flat byte-addressable data memory.
+type Memory struct {
+	bytes []byte
+}
+
+// NewMemory builds a Memory initialized from the program's data image.
+func NewMemory(data []byte) *Memory {
+	m := &Memory{bytes: make([]byte, MemSize)}
+	copy(m.bytes, data)
+	return m
+}
+
+// Load64 reads the 64-bit little-endian word at addr.
+func (m *Memory) Load64(addr uint64) uint64 {
+	a := addr & (MemSize - 1)
+	if a+8 > MemSize {
+		a = MemSize - 8
+	}
+	b := m.bytes[a : a+8]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// Store64 writes the 64-bit little-endian word v at addr.
+func (m *Memory) Store64(addr, v uint64) {
+	a := addr & (MemSize - 1)
+	if a+8 > MemSize {
+		a = MemSize - 8
+	}
+	b := m.bytes[a : a+8]
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+}
+
+// Load8 reads the byte at addr.
+func (m *Memory) Load8(addr uint64) byte { return m.bytes[addr&(MemSize-1)] }
+
+// Store8 writes the byte v at addr.
+func (m *Memory) Store8(addr uint64, v byte) { m.bytes[addr&(MemSize-1)] = v }
+
+// NewExecutor prepares a functional executor for prog.
+func NewExecutor(prog *program.Program) *Executor {
+	return &Executor{prog: prog, mem: NewMemory(prog.Data), pc: prog.Entry}
+}
+
+// Memory exposes the data memory (for tests and for result extraction by
+// workload self-checks).
+func (e *Executor) Memory() *Memory { return e.mem }
+
+// Reg returns the current architectural value of r.
+func (e *Executor) Reg(r isa.RegID) uint64 {
+	if r == isa.R0 {
+		return 0
+	}
+	return e.regs[r]
+}
+
+// Done reports whether the program has halted.
+func (e *Executor) Done() bool { return e.done }
+
+// Err returns the first execution error (e.g. runaway program), if any.
+func (e *Executor) Err() error { return e.err }
+
+// ErrRunaway is wrapped by errors returned when a program exceeds the
+// instruction budget without halting.
+var ErrRunaway = fmt.Errorf("trace: program exceeded instruction budget")
+
+// Next executes one instruction and fills d with its dynamic record. It
+// returns false when the program has halted (the HALT itself is not
+// reported) or an execution error occurred.
+func (e *Executor) Next(d *DynInst) bool {
+	if e.done || e.err != nil {
+		return false
+	}
+	if e.pc < 0 || e.pc >= len(e.prog.Code) {
+		e.err = fmt.Errorf("trace: pc %d out of range", e.pc)
+		return false
+	}
+	in := e.prog.Code[e.pc]
+	if in.Op == isa.HALT {
+		e.done = true
+		return false
+	}
+
+	*d = DynInst{Seq: e.seq, PC: e.pc, Inst: in}
+	e.seq++
+
+	srcs := in.Sources()
+	for i, r := range srcs {
+		d.SrcVal[i] = e.Reg(r)
+	}
+
+	next := e.pc + 1
+	a := int64(d.SrcVal[0])
+	bv := int64(0)
+	if len(srcs) > 1 {
+		bv = int64(d.SrcVal[1])
+	}
+	var result uint64
+	wrote := false
+
+	switch in.Op {
+	case isa.NOP:
+	case isa.ADD:
+		result, wrote = uint64(a+bv), true
+	case isa.SUB:
+		result, wrote = uint64(a-bv), true
+	case isa.AND:
+		result, wrote = uint64(a&bv), true
+	case isa.OR:
+		result, wrote = uint64(a|bv), true
+	case isa.XOR:
+		result, wrote = uint64(a^bv), true
+	case isa.SLL:
+		result, wrote = uint64(a<<(uint64(bv)&63)), true
+	case isa.SRL:
+		result, wrote = uint64(a)>>(uint64(bv)&63), true
+	case isa.SRA:
+		result, wrote = uint64(a>>(uint64(bv)&63)), true
+	case isa.SLT:
+		result, wrote = boolVal(a < bv), true
+	case isa.SLTU:
+		result, wrote = boolVal(uint64(a) < uint64(bv)), true
+	case isa.ADDI:
+		result, wrote = uint64(a+in.Imm), true
+	case isa.ANDI:
+		result, wrote = uint64(a&in.Imm), true
+	case isa.ORI:
+		result, wrote = uint64(a|in.Imm), true
+	case isa.XORI:
+		result, wrote = uint64(a^in.Imm), true
+	case isa.SLLI:
+		result, wrote = uint64(a<<(uint64(in.Imm)&63)), true
+	case isa.SRLI:
+		result, wrote = uint64(a)>>(uint64(in.Imm)&63), true
+	case isa.SRAI:
+		result, wrote = uint64(a>>(uint64(in.Imm)&63)), true
+	case isa.SLTI:
+		result, wrote = boolVal(a < in.Imm), true
+	case isa.LI:
+		result, wrote = uint64(in.Imm), true
+	case isa.MUL:
+		result, wrote = uint64(a*bv), true
+	case isa.DIV:
+		if bv == 0 {
+			result = 0
+		} else {
+			result = uint64(a / bv)
+		}
+		wrote = true
+	case isa.REM:
+		if bv == 0 {
+			result = uint64(a)
+		} else {
+			result = uint64(a % bv)
+		}
+		wrote = true
+	case isa.LW, isa.FLW:
+		d.Addr = uint64(a + in.Imm)
+		result, wrote = e.mem.Load64(d.Addr), true
+	case isa.LB:
+		d.Addr = uint64(a + in.Imm)
+		result, wrote = uint64(int64(int8(e.mem.Load8(d.Addr)))), true
+	case isa.SW, isa.FSW:
+		d.Addr = uint64(a + in.Imm)
+		e.mem.Store64(d.Addr, uint64(bv))
+	case isa.SB:
+		d.Addr = uint64(a + in.Imm)
+		e.mem.Store8(d.Addr, byte(bv))
+	case isa.BEQ:
+		d.Taken = a == bv
+	case isa.BNE:
+		d.Taken = a != bv
+	case isa.BLT:
+		d.Taken = a < bv
+	case isa.BGE:
+		d.Taken = a >= bv
+	case isa.BLTU:
+		d.Taken = uint64(a) < uint64(bv)
+	case isa.BGEU:
+		d.Taken = uint64(a) >= uint64(bv)
+	case isa.J:
+		d.Taken = true
+		next = in.Target
+	case isa.JAL:
+		d.Taken = true
+		result, wrote = uint64(e.pc+1), true
+		next = in.Target
+	case isa.JR:
+		d.Taken = true
+		next = int(uint64(a))
+	case isa.FADD:
+		result, wrote = f2b(b2f(uint64(a))+b2f(uint64(bv))), true
+	case isa.FSUB:
+		result, wrote = f2b(b2f(uint64(a))-b2f(uint64(bv))), true
+	case isa.FMUL:
+		result, wrote = f2b(b2f(uint64(a))*b2f(uint64(bv))), true
+	case isa.FDIV:
+		den := b2f(uint64(bv))
+		if den == 0 {
+			result = f2b(0)
+		} else {
+			result = f2b(b2f(uint64(a)) / den)
+		}
+		wrote = true
+	case isa.FNEG:
+		result, wrote = f2b(-b2f(uint64(a))), true
+	case isa.FABS:
+		result, wrote = f2b(math.Abs(b2f(uint64(a)))), true
+	case isa.FMOV:
+		result, wrote = uint64(a), true
+	case isa.FLI:
+		result, wrote = f2b(in.FImm), true
+	case isa.CVTIF:
+		result, wrote = f2b(float64(a)), true
+	case isa.CVTFI:
+		result, wrote = uint64(int64(b2f(uint64(a)))), true
+	case isa.FLT:
+		result, wrote = boolVal(b2f(uint64(a)) < b2f(uint64(bv))), true
+	case isa.FLE:
+		result, wrote = boolVal(b2f(uint64(a)) <= b2f(uint64(bv))), true
+	case isa.FEQ:
+		result, wrote = boolVal(b2f(uint64(a)) == b2f(uint64(bv))), true
+	default:
+		e.err = fmt.Errorf("trace: pc %d: unimplemented opcode %v", e.pc, in.Op)
+		return false
+	}
+
+	info := isa.InfoFor(in.Op)
+	if info.IsCondBranch && d.Taken {
+		next = in.Target
+	}
+	if wrote {
+		d.DstVal = result
+		if in.Rd != isa.R0 && in.Rd.Valid() {
+			e.regs[in.Rd] = result
+		}
+	}
+	d.NextPC = next
+	e.pc = next
+	return true
+}
+
+// Run executes the whole program (up to limit dynamic instructions,
+// 0 = default of 100M) and returns the number of instructions executed.
+func (e *Executor) Run(limit uint64) (uint64, error) {
+	if limit == 0 {
+		limit = 100_000_000
+	}
+	var d DynInst
+	for e.Next(&d) {
+		if d.Seq+1 >= limit {
+			e.err = fmt.Errorf("%w after %d instructions", ErrRunaway, limit)
+			break
+		}
+	}
+	return e.seq, e.err
+}
+
+// Collect executes prog fully and returns the dynamic trace as a slice.
+// Intended for tests and small programs; large runs should stream via
+// Next.
+func Collect(prog *program.Program, limit uint64) ([]DynInst, error) {
+	if limit == 0 {
+		limit = 10_000_000
+	}
+	e := NewExecutor(prog)
+	var out []DynInst
+	var d DynInst
+	for e.Next(&d) {
+		out = append(out, d)
+		if uint64(len(out)) >= limit {
+			return out, fmt.Errorf("%w after %d instructions", ErrRunaway, limit)
+		}
+	}
+	return out, e.Err()
+}
+
+func boolVal(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func b2f(b uint64) float64 { return math.Float64frombits(b) }
+func f2b(f float64) uint64 { return math.Float64bits(f) }

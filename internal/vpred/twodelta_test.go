@@ -1,0 +1,120 @@
+package vpred
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoDeltaLearnsStride(t *testing.T) {
+	p := NewTwoDelta(1024)
+	hits := 0
+	for i := 0; i < 20; i++ {
+		_, conf, corr := p.PredictAndTrain(5, 0, false, uint64(i*12))
+		if conf && corr {
+			hits++
+		}
+	}
+	if hits < 13 {
+		t.Errorf("stride hits = %d/20, want >= 13", hits)
+	}
+}
+
+func TestTwoDeltaFiltersOneOffBreaks(t *testing.T) {
+	// A sawtooth with period 8: 0,8,...,56, 0,8,... The plain stride
+	// predictor mislearns the wrap stride and pays two misses per
+	// period; the 2-delta predictor keeps its stride-8 prediction
+	// through the wrap (the wrap stride never repeats consecutively)
+	// and recovers confident hits one observation earlier.
+	seq := func(p Predictor, n int) (hits int) {
+		for i := 0; i < n; i++ {
+			v := uint64((i % 8) * 8)
+			_, conf, corr := p.PredictAndTrain(9, 0, false, v)
+			if conf && corr {
+				hits++
+			}
+		}
+		return hits
+	}
+	plain := seq(NewStride(1024), 400)
+	td := seq(NewTwoDelta(1024), 400)
+	if td <= plain {
+		t.Errorf("2-delta (%d hits) should beat plain stride (%d hits) on sawtooth", td, plain)
+	}
+}
+
+func TestTwoDeltaConstant(t *testing.T) {
+	p := NewTwoDelta(1024)
+	var conf, corr bool
+	for i := 0; i < 10; i++ {
+		_, conf, corr = p.PredictAndTrain(3, 1, false, 77)
+	}
+	if !conf || !corr {
+		t.Error("constant stream must become confidently correct")
+	}
+}
+
+func TestTwoDeltaNoFP(t *testing.T) {
+	p := NewTwoDelta(1024)
+	for i := 0; i < 10; i++ {
+		if _, conf, _ := p.PredictAndTrain(3, 0, true, 5); conf {
+			t.Fatal("FP operands must not be predicted")
+		}
+	}
+	if p.Stats().Lookups != 0 {
+		t.Error("FP operands must not count as lookups")
+	}
+}
+
+func TestTwoDeltaRandomStaysUnconfident(t *testing.T) {
+	p := NewTwoDelta(1024)
+	x := uint64(7)
+	confCount := 0
+	for i := 0; i < 1000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		if _, conf, _ := p.PredictAndTrain(11, 0, false, x); conf {
+			confCount++
+		}
+	}
+	if confCount > 10 {
+		t.Errorf("random stream confident %d/1000, want <= 10", confCount)
+	}
+}
+
+func TestTwoDeltaPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTwoDelta must panic on non-power-of-two")
+		}
+	}()
+	NewTwoDelta(100)
+}
+
+// Property: stats stay consistent under arbitrary streams.
+func TestTwoDeltaStatsProperty(t *testing.T) {
+	p := NewTwoDelta(512)
+	f := func(pc uint16, v uint64) bool {
+		p.PredictAndTrain(int(pc), 0, false, v)
+		st := p.Stats()
+		return st.Confident <= st.Lookups && st.ConfidentCorrect <= st.Confident
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any fixed-stride stream converges within 6 observations.
+func TestTwoDeltaConvergenceProperty(t *testing.T) {
+	f := func(pc uint16, start uint64, stride int16) bool {
+		p := NewTwoDelta(2048)
+		v := start
+		for i := 0; i < 6; i++ {
+			p.PredictAndTrain(int(pc), 1, false, v)
+			v += uint64(int64(stride))
+		}
+		_, conf, corr := p.PredictAndTrain(int(pc), 1, false, v)
+		return conf && corr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
