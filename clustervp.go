@@ -15,13 +15,12 @@
 package clustervp
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
+	"io"
 
 	"clustervp/internal/config"
 	"clustervp/internal/core"
 	"clustervp/internal/program"
+	"clustervp/internal/runner"
 	"clustervp/internal/stats"
 	"clustervp/internal/workload"
 )
@@ -111,28 +110,76 @@ func RunProgram(cfg Config, prog *program.Program) (Results, error) {
 	return sim.Run()
 }
 
-// RunSuite simulates every Table 2 kernel under cfg (in parallel) and
-// returns per-kernel results in suite order.
+// Job is one grid point: a machine configuration applied to a suite
+// kernel at a workload scale.
+type Job = runner.Job
+
+// JobResult pairs a grid job with its outcome; failed jobs carry a
+// per-job error rather than aborting the whole grid.
+type JobResult = runner.Result
+
+// GridSpec declares a cross-product of configurations, kernels and
+// scales; its Jobs method expands it in deterministic row-major order.
+type GridSpec = runner.Grid
+
+// Engine is the experiment-grid executor: a bounded worker pool with
+// result memoization keyed by a canonical config+workload fingerprint,
+// so a configuration shared by several grids (e.g. the centralized
+// 1-cluster reference) is simulated exactly once per engine. Results
+// are returned in job order regardless of completion order.
+type Engine = runner.Engine
+
+// NewEngine returns a grid engine bounded to the given number of
+// concurrent simulations (<=0 means GOMAXPROCS). The memo persists
+// across Run calls on the same engine.
+func NewEngine(workers int) *Engine {
+	return runner.New(runner.Options{Workers: workers})
+}
+
+// NewEngineWithProgress is NewEngine plus a per-executed-job progress
+// stream (memo hits are silent); cmd/experiments points it at stderr.
+func NewEngineWithProgress(workers int, progress io.Writer) *Engine {
+	return runner.New(runner.Options{Workers: workers, Progress: progress})
+}
+
+// Record is the flattened, serialization-friendly form of one grid
+// result (job identity, raw counters, derived metrics).
+type Record = runner.Record
+
+// ToRecord flattens one grid result for structured output.
+func ToRecord(r JobResult) Record { return runner.ToRecord(r) }
+
+// ExportResults writes grid results to path, choosing the format by
+// extension: .csv means CSV, anything else JSON.
+func ExportResults(path string, rs []JobResult) error { return runner.Export(path, rs) }
+
+// FirstErr collapses grid results to the first per-job error, in grid
+// order, or nil if every job succeeded.
+func FirstErr(rs []JobResult) error { return runner.FirstErr(rs) }
+
+// RunGrid executes the jobs on a fresh engine (GOMAXPROCS workers),
+// deduplicating identical jobs, and returns results in job order. For
+// memoization across several grids, create one Engine and call its Run
+// method instead.
+func RunGrid(jobs []Job) ([]JobResult, error) {
+	rs := NewEngine(0).Run(jobs)
+	return rs, FirstErr(rs)
+}
+
+// RunSuite simulates every Table 2 kernel under cfg (in parallel, via
+// the grid engine) and returns per-kernel results in suite order.
 func RunSuite(cfg Config, scale int) ([]Results, error) {
-	kernels := workload.All()
-	out := make([]Results, len(kernels))
-	errs := make([]error, len(kernels))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, k := range kernels {
-		wg.Add(1)
-		go func(i int, k workload.Kernel) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = Run(cfg, k.Name, scale)
-		}(i, k)
+	rs, err := RunGrid(GridSpec{
+		Configs: []Config{cfg},
+		Kernels: Kernels(),
+		Scales:  []int{scale},
+	}.Jobs())
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", kernels[i].Name, err)
-		}
+	out := make([]Results, len(rs))
+	for i, r := range rs {
+		out[i] = r.Res
 	}
 	return out, nil
 }

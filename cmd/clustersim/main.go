@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,13 +27,14 @@ func main() {
 	kernel := flag.String("kernel", "gsmdec", "benchmark kernel (see -list)")
 	list := flag.Bool("list", false, "list available kernels and exit")
 	clusters := flag.Int("clusters", 4, "number of clusters (1, 2 or 4)")
-	vp := flag.String("vp", "none", "value predictor: none, stride, perfect")
+	vp := flag.String("vp", "none", "value predictor: none, stride, twodelta, perfect")
 	steerKind := flag.String("steer", "baseline", "steering: baseline, modified, vpb")
 	commlat := flag.Int("commlat", 1, "inter-cluster communication latency (cycles)")
 	paths := flag.Int("paths", 0, "inter-cluster paths per cluster (0 = unbounded)")
 	vptable := flag.Int("vptable", 128*1024, "value prediction table entries")
 	rename := flag.Int("rename", 1, "rename/steer stage depth in cycles")
 	scale := flag.Int("scale", 1, "workload scale factor")
+	asJSON := flag.Bool("json", false, "emit the result as a single JSON object instead of text")
 	flag.Parse()
 
 	if *list {
@@ -48,6 +50,8 @@ func main() {
 	case "none":
 	case "stride":
 		cfg = cfg.WithVP(clustervp.VPStride)
+	case "twodelta":
+		cfg = cfg.WithVP(clustervp.VPTwoDelta)
 	case "perfect":
 		cfg = cfg.WithVP(clustervp.VPPerfect)
 	default:
@@ -69,6 +73,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
+	}
+
+	if *asJSON {
+		job := clustervp.Job{Config: cfg, Kernel: *kernel, Scale: *scale}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(clustervp.ToRecord(clustervp.JobResult{Job: job, Res: r})); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("benchmark            %s\n", r.Benchmark)

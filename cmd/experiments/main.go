@@ -3,16 +3,23 @@
 //
 // Usage:
 //
-//	experiments [-exp all|fig2|fig3|fig4a|fig4b|fig5|rename2|mod] [-scale N]
+//	experiments [-exp all|fig2|fig3|fig4a|fig4b|fig5|rename2|mod|ext]
+//	            [-scale N] [-jobs N] [-out results.json]
 //
-// Output is aligned text tables with the same rows/series the paper
-// plots; EXPERIMENTS.md records a captured run against the paper's
-// numbers.
+// Each figure declares a grid of (configuration × kernel) jobs; all
+// figures share one grid engine, so a configuration used by several
+// figures (e.g. the centralized 1-cluster reference) is simulated
+// exactly once per invocation. Per-job progress goes to stderr; -out
+// dumps the full deduplicated result grid as JSON (or CSV with a .csv
+// extension). Output is aligned text tables with the same rows/series
+// the paper plots; EXPERIMENTS.md records a captured run against the
+// paper's numbers.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"clustervp"
@@ -20,41 +27,122 @@ import (
 	"clustervp/internal/stats"
 )
 
+// env is the shared state every experiment draws on: the memoizing grid
+// engine, the workload scale, and the table output stream.
+type env struct {
+	eng   *clustervp.Engine
+	scale int
+	out   io.Writer
+}
+
+// experiment names one figure generator.
+type experiment struct {
+	name string
+	f    func(*env) error
+}
+
+var experiments = []experiment{
+	{"fig2", fig2}, {"fig3", fig3}, {"fig4a", fig4a}, {"fig4b", fig4b},
+	{"fig5", fig5}, {"rename2", rename2}, {"mod", mod}, {"ext", ext},
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, fig4a, fig4b, fig5, rename2, mod, ext")
 	scale := flag.Int("scale", 1, "workload scale factor")
+	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	out := flag.String("out", "", "dump the full result grid to this file (.json or .csv)")
 	flag.Parse()
 
-	run := func(name string, f func(int)) {
-		if *exp == "all" || *exp == name {
-			f(*scale)
-		}
+	e := &env{
+		eng:   clustervp.NewEngineWithProgress(*jobs, os.Stderr),
+		scale: *scale,
+		out:   os.Stdout,
 	}
-	ok := false
-	for _, e := range []struct {
-		name string
-		f    func(int)
-	}{
-		{"fig2", fig2}, {"fig3", fig3}, {"fig4a", fig4a}, {"fig4b", fig4b},
-		{"fig5", fig5}, {"rename2", rename2}, {"mod", mod}, {"ext", ext},
-	} {
-		if *exp == "all" || *exp == e.name {
-			ok = true
-		}
-		run(e.name, e.f)
-	}
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
-	}
-}
-
-func must(rs []clustervp.Results, err error) []clustervp.Results {
+	code, err := runExperiments(e, *exp, *out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
 	}
-	return rs
+	os.Exit(code)
+}
+
+// runExperiments drives the selected figures against e, optionally
+// exporting the result grid to outPath, and returns the process exit
+// code: 0 on success, 1 on simulation/export failure, 2 on a bad -exp.
+func runExperiments(e *env, exp, outPath string) (int, error) {
+	matched := false
+	var firstErr error
+	for _, x := range experiments {
+		if exp != "all" && exp != x.name {
+			continue
+		}
+		matched = true
+		if err := x.f(e); err != nil {
+			firstErr = fmt.Errorf("%s: %w", x.name, err)
+			break
+		}
+	}
+	if !matched {
+		return 2, fmt.Errorf("unknown experiment %q", exp)
+	}
+	// Export whatever ran, even on failure, so CI can inspect partial
+	// grids; the non-zero exit still gates the pipeline.
+	if outPath != "" {
+		if err := clustervp.ExportResults(outPath, e.eng.Snapshot()); err != nil {
+			if firstErr != nil {
+				firstErr = fmt.Errorf("%w (and exporting the partial grid failed: %v)", firstErr, err)
+			} else {
+				firstErr = err
+			}
+			return 1, firstErr
+		}
+	}
+	if firstErr != nil {
+		return 1, firstErr
+	}
+	return 0, nil
+}
+
+// suites runs the whole Table 2 kernel suite under every configuration
+// as one batched grid and returns per-config result slices (suite
+// order), maximizing worker-pool utilization across configurations.
+func (e *env) suites(cfgs ...clustervp.Config) ([][]clustervp.Results, error) {
+	kernels := clustervp.Kernels()
+	rs := e.eng.Run(clustervp.GridSpec{
+		Configs: cfgs,
+		Kernels: kernels,
+		Scales:  []int{e.scale},
+	}.Jobs())
+	if err := clustervp.FirstErr(rs); err != nil {
+		return nil, err
+	}
+	out := make([][]clustervp.Results, len(cfgs))
+	for i := range cfgs {
+		per := make([]clustervp.Results, len(kernels))
+		for k := range kernels {
+			per[k] = rs[i*len(kernels)+k].Res
+		}
+		out[i] = per
+	}
+	return out, nil
+}
+
+// aggregates runs suites for the configurations and folds each into its
+// suite-level record. A nil labels slice labels each aggregate with its
+// configuration name (for figures that never display the label).
+func (e *env) aggregates(labels []string, cfgs ...clustervp.Config) ([]clustervp.Results, error) {
+	suites, err := e.suites(cfgs...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]clustervp.Results, len(cfgs))
+	for i, s := range suites {
+		label := cfgs[i].Name
+		if labels != nil {
+			label = labels[i]
+		}
+		out[i] = clustervp.Aggregate(label, s)
+	}
+	return out, nil
 }
 
 func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
@@ -62,50 +150,40 @@ func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
 
 // fig2 reproduces Figure 2: per-benchmark IPC for 1/2/4 clusters, with
 // and without value prediction, under baseline steering.
-func fig2(scale int) {
-	type cc struct {
-		label string
-		cfg   clustervp.Config
-	}
-	var cols []cc
+func fig2(e *env) error {
+	var labels []string
+	var cfgs []clustervp.Config
 	for _, n := range []int{1, 2, 4} {
-		cols = append(cols,
-			cc{fmt.Sprintf("%dc", n), clustervp.Preset(n)},
-			cc{fmt.Sprintf("%dc+vp", n), clustervp.Preset(n).WithVP(clustervp.VPStride)},
-		)
+		labels = append(labels, fmt.Sprintf("%dc", n), fmt.Sprintf("%dc+vp", n))
+		cfgs = append(cfgs, clustervp.Preset(n), clustervp.Preset(n).WithVP(clustervp.VPStride))
 	}
-	results := make([][]clustervp.Results, len(cols))
-	for i, c := range cols {
-		results[i] = must(clustervp.RunSuite(c.cfg, scale))
+	results, err := e.suites(cfgs...)
+	if err != nil {
+		return err
 	}
 	t := stats.Table{Title: "Figure 2: IPC, baseline steering, with and without value prediction"}
-	t.Header = append([]string{"benchmark"}, func() []string {
-		h := make([]string, len(cols))
-		for i, c := range cols {
-			h[i] = c.label
-		}
-		return h
-	}()...)
+	t.Header = append([]string{"benchmark"}, labels...)
 	for k, name := range clustervp.Kernels() {
 		row := []string{name}
-		for i := range cols {
+		for i := range cfgs {
 			row = append(row, f3(results[i][k].IPC()))
 		}
 		t.Add(row...)
 	}
 	avg := []string{"suite"}
-	for i, c := range cols {
-		avg = append(avg, f3(clustervp.Aggregate(c.label, results[i]).IPC()))
+	for i, l := range labels {
+		avg = append(avg, f3(clustervp.Aggregate(l, results[i]).IPC()))
 	}
 	t.Add(avg...)
-	fmt.Println(t.String())
+	fmt.Fprintln(e.out, t.String())
+	return nil
 }
 
 // fig3 reproduces Figure 3: workload imbalance (a), communications per
 // instruction (b) and normalized IPCR (c) for the four configurations —
 // Baseline without and with prediction, VPB with prediction, VPB with
 // perfect prediction — on 2 and 4 clusters.
-func fig3(scale int) {
+func fig3(e *env) error {
 	type cfgrow struct {
 		label string
 		mk    func(n int) clustervp.Config
@@ -120,17 +198,35 @@ func fig3(scale int) {
 			return clustervp.Preset(n).WithVP(clustervp.VPPerfect).WithSteering(clustervp.SteerVPB)
 		}},
 	}
-	base1 := clustervp.Aggregate("1c", must(clustervp.RunSuite(clustervp.Preset(1), scale)))
-	base1vp := clustervp.Aggregate("1c+vp", must(clustervp.RunSuite(clustervp.Preset(1).WithVP(clustervp.VPStride), scale)))
-	base1perf := clustervp.Aggregate("1c+perf", must(clustervp.RunSuite(clustervp.Preset(1).WithVP(clustervp.VPPerfect), scale)))
+	// One grid: the three centralized references, then the 2- and
+	// 4-cluster rows.
+	labels := []string{"1c", "1c+vp", "1c+perf"}
+	cfgs := []clustervp.Config{
+		clustervp.Preset(1),
+		clustervp.Preset(1).WithVP(clustervp.VPStride),
+		clustervp.Preset(1).WithVP(clustervp.VPPerfect),
+	}
+	for _, n := range []int{2, 4} {
+		for _, r := range rows {
+			labels = append(labels, r.label)
+			cfgs = append(cfgs, r.mk(n))
+		}
+	}
+	aggs, err := e.aggregates(labels, cfgs...)
+	if err != nil {
+		return err
+	}
+	base1, base1vp, base1perf := aggs[0], aggs[1], aggs[2]
 
 	t := stats.Table{
 		Title:  "Figure 3: imbalance (a), communications/instruction (b), IPCR (c)",
 		Header: []string{"config", "clusters", "imbalance", "comm/instr", "IPC", "IPCR"},
 	}
+	i := 3
 	for _, n := range []int{2, 4} {
 		for _, r := range rows {
-			agg := clustervp.Aggregate(r.label, must(clustervp.RunSuite(r.mk(n), scale)))
+			agg := aggs[i]
+			i++
 			// IPCR compares against the centralized machine with the
 			// same predictor (§2.4 isolates cluster-specific benefits).
 			ref := base1
@@ -144,133 +240,185 @@ func fig3(scale int) {
 				f3(agg.IPC()), f3(clustervp.IPCR(agg, ref)))
 		}
 	}
-	fmt.Println(t.String())
+	fmt.Fprintln(e.out, t.String())
+	return nil
 }
 
 // fig4a reproduces Figure 4(a): IPC vs. communication latency 1/2/4, for
 // 2 and 4 clusters, with and without prediction (VPB steering when
 // predicting).
-func fig4a(scale int) {
-	t := stats.Table{
-		Title:  "Figure 4a: IPC vs. inter-cluster communication latency",
-		Header: []string{"clusters", "predict", "lat=1", "lat=2", "lat=4"},
-	}
+func fig4a(e *env) error {
+	lats := []int{1, 2, 4}
+	var cfgs []clustervp.Config
 	for _, n := range []int{2, 4} {
 		for _, vp := range []bool{true, false} {
-			row := []string{fmt.Sprint(n), fmt.Sprint(vp)}
-			for _, lat := range []int{1, 2, 4} {
+			for _, lat := range lats {
 				cfg := clustervp.Preset(n).WithComm(lat, 0)
 				if vp {
 					cfg = cfg.WithVP(clustervp.VPStride).WithSteering(clustervp.SteerVPB)
 				}
-				agg := clustervp.Aggregate("x", must(clustervp.RunSuite(cfg, scale)))
-				row = append(row, f3(agg.IPC()))
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	aggs, err := e.aggregates(nil, cfgs...)
+	if err != nil {
+		return err
+	}
+	t := stats.Table{
+		Title:  "Figure 4a: IPC vs. inter-cluster communication latency",
+		Header: []string{"clusters", "predict", "lat=1", "lat=2", "lat=4"},
+	}
+	i := 0
+	for _, n := range []int{2, 4} {
+		for _, vp := range []bool{true, false} {
+			row := []string{fmt.Sprint(n), fmt.Sprint(vp)}
+			for range lats {
+				row = append(row, f3(aggs[i].IPC()))
+				i++
 			}
 			t.Add(row...)
 		}
 	}
-	fmt.Println(t.String())
+	fmt.Fprintln(e.out, t.String())
+	return nil
 }
 
 // fig4b reproduces Figure 4(b): IPC vs. communication bandwidth (1, 2, 4
 // paths per cluster, and unbounded).
-func fig4b(scale int) {
-	t := stats.Table{
-		Title:  "Figure 4b: IPC vs. inter-cluster communication bandwidth (paths/cluster)",
-		Header: []string{"clusters", "predict", "B=1", "B=2", "B=4", "unbounded"},
-	}
+func fig4b(e *env) error {
+	bws := []int{1, 2, 4, 0}
+	var cfgs []clustervp.Config
 	for _, n := range []int{2, 4} {
 		for _, vp := range []bool{true, false} {
-			row := []string{fmt.Sprint(n), fmt.Sprint(vp)}
-			for _, b := range []int{1, 2, 4, 0} {
+			for _, b := range bws {
 				cfg := clustervp.Preset(n).WithComm(1, b)
 				if vp {
 					cfg = cfg.WithVP(clustervp.VPStride).WithSteering(clustervp.SteerVPB)
 				}
-				agg := clustervp.Aggregate("x", must(clustervp.RunSuite(cfg, scale)))
-				row = append(row, f3(agg.IPC()))
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	aggs, err := e.aggregates(nil, cfgs...)
+	if err != nil {
+		return err
+	}
+	t := stats.Table{
+		Title:  "Figure 4b: IPC vs. inter-cluster communication bandwidth (paths/cluster)",
+		Header: []string{"clusters", "predict", "B=1", "B=2", "B=4", "unbounded"},
+	}
+	i := 0
+	for _, n := range []int{2, 4} {
+		for _, vp := range []bool{true, false} {
+			row := []string{fmt.Sprint(n), fmt.Sprint(vp)}
+			for range bws {
+				row = append(row, f3(aggs[i].IPC()))
+				i++
 			}
 			t.Add(row...)
 		}
 	}
-	fmt.Println(t.String())
+	fmt.Fprintln(e.out, t.String())
+	return nil
 }
 
 // fig5 reproduces Figure 5: IPC (a) and predictor accuracy (b) vs. the
 // value prediction table size, on 4 clusters with VPB steering.
-func fig5(scale int) {
-	t := stats.Table{
-		Title:  "Figure 5: value predictor table size (4 clusters, VPB)",
-		Header: []string{"entries", "IPC", "hit-ratio", "confident%", "not-confident%"},
-	}
+func fig5(e *env) error {
 	// The paper sweeps 1K-128K against MediaBench's static footprint of
 	// tens of thousands of instructions. Our kernels are a few hundred
 	// static instructions, so destructive aliasing — the phenomenon the
 	// figure measures — sets in below 1K; the sweep therefore extends
 	// down to 16 entries to cover the same pressure ratios (DESIGN.md §3).
-	for _, entries := range []int{16, 64, 256, 1024, 4096, 16384, 128 * 1024} {
-		cfg := clustervp.Preset(4).WithVP(clustervp.VPStride).WithSteering(clustervp.SteerVPB).WithVPTable(entries)
-		agg := clustervp.Aggregate("x", must(clustervp.RunSuite(cfg, scale)))
+	sizes := []int{16, 64, 256, 1024, 4096, 16384, 128 * 1024}
+	var cfgs []clustervp.Config
+	for _, entries := range sizes {
+		cfgs = append(cfgs, clustervp.Preset(4).
+			WithVP(clustervp.VPStride).WithSteering(clustervp.SteerVPB).WithVPTable(entries))
+	}
+	aggs, err := e.aggregates(nil, cfgs...)
+	if err != nil {
+		return err
+	}
+	t := stats.Table{
+		Title:  "Figure 5: value predictor table size (4 clusters, VPB)",
+		Header: []string{"entries", "IPC", "hit-ratio", "confident%", "not-confident%"},
+	}
+	for i, entries := range sizes {
 		label := fmt.Sprint(entries)
 		if entries >= 1024 {
 			label = fmt.Sprintf("%dK", entries/1024)
 		}
+		agg := aggs[i]
 		t.Add(label, f3(agg.IPC()),
 			f3(agg.VP.HitRatio()), f3(100*agg.VP.ConfidentFraction()),
 			f3(100*(1-agg.VP.ConfidentFraction())))
 	}
-	fmt.Println(t.String())
+	fmt.Fprintln(e.out, t.String())
+	return nil
 }
 
 // rename2 reproduces the §3.3 experiment: a 2-cycle rename/steer stage on
 // the 4-cluster VPB machine costs under ~2% IPC.
-func rename2(scale int) {
+func rename2(e *env) error {
+	cfg := clustervp.Preset(4).WithVP(clustervp.VPStride).WithSteering(clustervp.SteerVPB)
+	cfg2 := cfg
+	cfg2.RenameCycles = 2
+	aggs, err := e.aggregates([]string{"r1", "r2"}, cfg, cfg2)
+	if err != nil {
+		return err
+	}
+	a1, a2 := aggs[0], aggs[1]
 	t := stats.Table{
 		Title:  "§3.3: rename/steer pipeline depth (4 clusters, VPB + stride VP)",
 		Header: []string{"rename-cycles", "IPC", "delta%"},
 	}
-	cfg := clustervp.Preset(4).WithVP(clustervp.VPStride).WithSteering(clustervp.SteerVPB)
-	a1 := clustervp.Aggregate("r1", must(clustervp.RunSuite(cfg, scale)))
-	cfg2 := cfg
-	cfg2.RenameCycles = 2
-	a2 := clustervp.Aggregate("r2", must(clustervp.RunSuite(cfg2, scale)))
 	t.Add("1", f3(a1.IPC()), "0.0")
 	t.Add("2", f3(a2.IPC()), fmt.Sprintf("%.1f", 100*(a2.IPC()-a1.IPC())/a1.IPC()))
-	fmt.Println(t.String())
+	fmt.Fprintln(e.out, t.String())
+	return nil
 }
 
 // mod reproduces the §3.2 observation: applying both steering
 // modifications unconditionally yields a negligible improvement over the
 // baseline scheme (imbalance falls, communication does not).
-func mod(scale int) {
-	t := stats.Table{
-		Title:  "§3.2: unconditional steering modifications (4 clusters, stride VP)",
-		Header: []string{"steering", "IPC", "imbalance", "comm/instr"},
-	}
-	for _, s := range []struct {
+func mod(e *env) error {
+	schemes := []struct {
 		label string
 		kind  config.SteeringKind
 	}{
 		{"Baseline", clustervp.SteerBaseline},
 		{"Modified(M1+M2)", clustervp.SteerModified},
 		{"VPB", clustervp.SteerVPB},
-	} {
-		cfg := clustervp.Preset(4).WithVP(clustervp.VPStride).WithSteering(s.kind)
-		agg := clustervp.Aggregate(s.label, must(clustervp.RunSuite(cfg, scale)))
+	}
+	var labels []string
+	var cfgs []clustervp.Config
+	for _, s := range schemes {
+		labels = append(labels, s.label)
+		cfgs = append(cfgs, clustervp.Preset(4).WithVP(clustervp.VPStride).WithSteering(s.kind))
+	}
+	aggs, err := e.aggregates(labels, cfgs...)
+	if err != nil {
+		return err
+	}
+	t := stats.Table{
+		Title:  "§3.2: unconditional steering modifications (4 clusters, stride VP)",
+		Header: []string{"steering", "IPC", "imbalance", "comm/instr"},
+	}
+	for i, s := range schemes {
+		agg := aggs[i]
 		t.Add(s.label, f3(agg.IPC()), f3(agg.Imbalance()), f4(agg.CommPerInstr()))
 	}
-	fmt.Println(t.String())
+	fmt.Fprintln(e.out, t.String())
+	return nil
 }
 
 // ext runs the extensions beyond the paper's evaluation: the §5
 // related-work steering baselines head-to-head, and the 2-delta
 // predictor the conclusion anticipates.
-func ext(scale int) {
-	t := stats.Table{
-		Title:  "Extensions: steering baselines (4 clusters, stride VP) and predictor variants (VPB)",
-		Header: []string{"variant", "IPC", "imbalance", "comm/instr", "hit-ratio"},
-	}
-	for _, s := range []struct {
+func ext(e *env) error {
+	steers := []struct {
 		label string
 		kind  config.SteeringKind
 	}{
@@ -279,12 +427,8 @@ func ext(scale int) {
 		{"steer:depfifo", clustervp.SteerDepFIFO},
 		{"steer:baseline", clustervp.SteerBaseline},
 		{"steer:vpb", clustervp.SteerVPB},
-	} {
-		cfg := clustervp.Preset(4).WithVP(clustervp.VPStride).WithSteering(s.kind)
-		agg := clustervp.Aggregate(s.label, must(clustervp.RunSuite(cfg, scale)))
-		t.Add(s.label, f3(agg.IPC()), f3(agg.Imbalance()), f4(agg.CommPerInstr()), "-")
 	}
-	for _, v := range []struct {
+	vps := []struct {
 		label   string
 		kind    config.VPKind
 		coverFP bool
@@ -294,11 +438,35 @@ func ext(scale int) {
 		{"vp:stride+fp", clustervp.VPStride, true},
 		{"vp:perfect", clustervp.VPPerfect, false},
 		{"vp:perfect+fp", clustervp.VPPerfect, true},
-	} {
+	}
+	var labels []string
+	var cfgs []clustervp.Config
+	for _, s := range steers {
+		labels = append(labels, s.label)
+		cfgs = append(cfgs, clustervp.Preset(4).WithVP(clustervp.VPStride).WithSteering(s.kind))
+	}
+	for _, v := range vps {
 		cfg := clustervp.Preset(4).WithVP(v.kind).WithSteering(clustervp.SteerVPB)
 		cfg.VPCoverFP = v.coverFP
-		agg := clustervp.Aggregate(v.label, must(clustervp.RunSuite(cfg, scale)))
-		t.Add(v.label, f3(agg.IPC()), f3(agg.Imbalance()), f4(agg.CommPerInstr()), f3(agg.VP.HitRatio()))
+		labels = append(labels, v.label)
+		cfgs = append(cfgs, cfg)
 	}
-	fmt.Println(t.String())
+	aggs, err := e.aggregates(labels, cfgs...)
+	if err != nil {
+		return err
+	}
+	t := stats.Table{
+		Title:  "Extensions: steering baselines (4 clusters, stride VP) and predictor variants (VPB)",
+		Header: []string{"variant", "IPC", "imbalance", "comm/instr", "hit-ratio"},
+	}
+	for i, s := range steers {
+		agg := aggs[i]
+		t.Add(s.label, f3(agg.IPC()), f3(agg.Imbalance()), f4(agg.CommPerInstr()), "-")
+	}
+	for i := range vps {
+		agg := aggs[len(steers)+i]
+		t.Add(labels[len(steers)+i], f3(agg.IPC()), f3(agg.Imbalance()), f4(agg.CommPerInstr()), f3(agg.VP.HitRatio()))
+	}
+	fmt.Fprintln(e.out, t.String())
+	return nil
 }

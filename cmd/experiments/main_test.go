@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"clustervp"
+	"clustervp/internal/runner"
+	"clustervp/internal/stats"
+)
+
+// stubEnv returns an env whose engine counts simulator invocations but
+// runs a trivial stub instead of the real timing simulator, so figure
+// plumbing and cross-figure memoization can be tested in milliseconds.
+func stubEnv(calls *int64) *env {
+	return &env{
+		eng: runner.New(runner.Options{Workers: 4, Run: func(j runner.Job) (stats.Results, error) {
+			atomic.AddInt64(calls, 1)
+			return stats.Results{
+				Config: j.Config.Name, Benchmark: j.Kernel,
+				Cycles: 100, Instructions: 150,
+			}, nil
+		}}),
+		scale: 1,
+		out:   io.Discard,
+	}
+}
+
+// TestSharedBaselinesSimulatedOnce verifies the -exp all contract: a
+// configuration used by several figures (the 1-cluster references, the
+// baseline clustered machines) is simulated exactly once per kernel.
+func TestSharedBaselinesSimulatedOnce(t *testing.T) {
+	var calls int64
+	e := stubEnv(&calls)
+	k := int64(len(clustervp.Kernels()))
+
+	// fig2: (1,2,4 clusters) × (no VP, stride VP) = 6 unique configs.
+	if err := fig2(e); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&calls); got != 6*k {
+		t.Fatalf("fig2 executed %d jobs, want %d", got, 6*k)
+	}
+
+	// fig3 declares 11 configs but shares 6 with fig2 (the 1c and 1c+vp
+	// references and the 2/4-cluster baselines with and without VP), so
+	// only 5 are new: 1c+perfect, and VPB with stride/perfect on 2 and
+	// 4 clusters.
+	if err := fig3(e); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&calls); got != 11*k {
+		t.Fatalf("after fig3: executed %d jobs, want %d (shared baselines must not re-simulate)", got, 11*k)
+	}
+
+	// Re-running a whole figure is free.
+	if err := fig3(e); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&calls); got != 11*k {
+		t.Fatalf("re-running fig3 executed %d extra jobs, want 0", got-11*k)
+	}
+	if e.eng.Executed() != 11*k {
+		t.Fatalf("Executed() = %d, want %d", e.eng.Executed(), 11*k)
+	}
+}
+
+// TestAllExperimentsRunOnStub drives every figure through the stub
+// engine, checking each completes and prints a table.
+func TestAllExperimentsRunOnStub(t *testing.T) {
+	var calls int64
+	e := stubEnv(&calls)
+	var sb strings.Builder
+	e.out = &sb
+	code, err := runExperiments(e, "all", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	if n := strings.Count(sb.String(), "Figure"); n < 4 {
+		t.Errorf("expected at least the 4 figure tables, got %d:\n%s", n, sb.String())
+	}
+}
+
+// TestUnknownExperiment checks the CI-gating exit code contract.
+func TestUnknownExperiment(t *testing.T) {
+	var calls int64
+	code, err := runExperiments(stubEnv(&calls), "nosuch", "")
+	if code != 2 || err == nil {
+		t.Fatalf("unknown experiment: code=%d err=%v, want code=2 and an error", code, err)
+	}
+	if calls != 0 {
+		t.Errorf("unknown experiment still simulated %d jobs", calls)
+	}
+}
+
+// TestOutExportsGrid checks -out dumps the full deduplicated grid as
+// JSON that parses back, via the stub engine.
+func TestOutExportsGrid(t *testing.T) {
+	var calls int64
+	e := stubEnv(&calls)
+	path := filepath.Join(t.TempDir(), "grid.json")
+	code, err := runExperiments(e, "fig2", path)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []runner.Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatalf("-out emitted invalid JSON: %v", err)
+	}
+	if want := 6 * len(clustervp.Kernels()); len(recs) != want {
+		t.Fatalf("exported %d records, want %d", len(recs), want)
+	}
+	for _, r := range recs {
+		if r.Kernel == "" || r.Clusters < 1 || r.Err != "" {
+			t.Errorf("bad record: %+v", r)
+		}
+	}
+}
+
+// TestOutJSONRealSimulation runs the cheapest real experiment end to
+// end and parses the exported grid (the acceptance-criteria path).
+func TestOutJSONRealSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation in -short mode")
+	}
+	e := &env{eng: clustervp.NewEngine(0), scale: 1, out: io.Discard}
+	path := filepath.Join(t.TempDir(), "rename2.json")
+	code, err := runExperiments(e, "rename2", path)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []runner.Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if want := 2 * len(clustervp.Kernels()); len(recs) != want {
+		t.Fatalf("exported %d records, want %d", len(recs), want)
+	}
+	for _, r := range recs {
+		if r.IPC <= 0 || r.Cycles <= 0 || r.Err != "" {
+			t.Errorf("suspicious record: %+v", r)
+		}
+	}
+}

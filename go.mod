@@ -1,0 +1,3 @@
+module clustervp
+
+go 1.24

@@ -98,6 +98,9 @@ func TestLoopCompletesAllClusterCounts(t *testing.T) {
 }
 
 func TestClusteringDegradesIPC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three-config simulation in -short mode")
+	}
 	// The fundamental result the whole paper builds on: clustered IPC is
 	// below centralized IPC (communication + narrower per-cluster issue).
 	k, _ := workload.ByName("gsmenc")
@@ -211,6 +214,9 @@ func TestBandwidthLimitSmallEffect(t *testing.T) {
 }
 
 func TestTwoCycleRenameSmallCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two-config simulation in -short mode")
+	}
 	// §3.3: a 2-cycle rename/steer stage degrades IPC by under ~2-3%.
 	k, _ := workload.ByName("gsmenc")
 	cfg := config.Preset(4).WithVP(config.VPStride).WithSteering(config.SteerVPB)

@@ -57,6 +57,9 @@ func TestMaxCyclesAborts(t *testing.T) {
 }
 
 func TestRunawayProgramSurfacesError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2M-cycle spin loop in -short mode")
+	}
 	b := program.NewBuilder("spin")
 	b.Label("x")
 	b.I(isa.ADDI, isa.R1, isa.R1, 1)
@@ -142,6 +145,9 @@ func TestAlternativeSteeringsComplete(t *testing.T) {
 }
 
 func TestAlternativeSteeringsLoseToPaperScheme(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-config simulation in -short mode")
+	}
 	// The §5 comparison: communication-blind steering must generate far
 	// more traffic than the paper's heuristic.
 	k, _ := workload.ByName("gsmenc")
@@ -236,6 +242,9 @@ func TestHigherScaleSameIPCBallpark(t *testing.T) {
 }
 
 func TestFPCoverageExtension(t *testing.T) {
+	if testing.Short() {
+		t.Skip("FP-heavy kernel simulation in -short mode")
+	}
 	// The paper's §3.3 remark: residual communication under perfect
 	// prediction is FP values. Extending coverage to FP operands must
 	// drive the residue toward zero on FP-heavy kernels.

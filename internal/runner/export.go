@@ -1,0 +1,135 @@
+// Grid export: flatten engine results into JSON or CSV so downstream
+// tooling and CI benchmarks can consume runs without scraping the
+// aligned text tables cmd/experiments prints.
+package runner
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"clustervp/internal/stats"
+)
+
+// Record is the flattened, serialization-friendly form of one Result:
+// the job identity, the knobs that distinguish grid points, the raw
+// counters and the derived metrics.
+type Record struct {
+	Config   string `json:"config"`
+	Kernel   string `json:"kernel"`
+	Scale    int    `json:"scale"`
+	Clusters int    `json:"clusters"`
+	VP       string `json:"vp"`
+	Steering string `json:"steering"`
+	CommLat  int    `json:"comm_latency"`
+	CommBW   int    `json:"comm_paths"`
+	VPTable  int    `json:"vp_table_entries"`
+
+	Cycles       int64  `json:"cycles"`
+	Instructions uint64 `json:"instructions"`
+	BusTransfers uint64 `json:"bus_transfers"`
+	Reissues     uint64 `json:"reissues"`
+
+	stats.Derived
+
+	Err string `json:"error,omitempty"`
+}
+
+// ToRecord flattens one result.
+func ToRecord(r Result) Record {
+	c := r.Job.Config
+	rec := Record{
+		Config:   displayName(c),
+		Kernel:   r.Job.Kernel,
+		Scale:    r.Job.EffectiveScale(),
+		Clusters: c.Clusters,
+		VP:       c.VP.String(),
+		Steering: c.Steering.String(),
+		CommLat:  c.CommLatency,
+		CommBW:   c.CommPaths,
+		VPTable:  c.VPTableEntries,
+	}
+	if r.Err != nil {
+		rec.Err = r.Err.Error()
+		return rec
+	}
+	rec.Cycles = r.Res.Cycles
+	rec.Instructions = r.Res.Instructions
+	rec.BusTransfers = r.Res.BusTransfers
+	rec.Reissues = r.Res.Reissues
+	rec.Derived = r.Res.Derived()
+	return rec
+}
+
+// ToRecords flattens a result slice, preserving order.
+func ToRecords(rs []Result) []Record {
+	out := make([]Record, len(rs))
+	for i, r := range rs {
+		out[i] = ToRecord(r)
+	}
+	return out
+}
+
+// WriteJSON emits the results as an indented JSON array of Records.
+func WriteJSON(w io.Writer, rs []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToRecords(rs))
+}
+
+// csvHeader matches csvRow field for field.
+var csvHeader = []string{
+	"config", "kernel", "scale", "clusters", "vp", "steering",
+	"comm_latency", "comm_paths", "vp_table_entries",
+	"cycles", "instructions", "bus_transfers", "reissues",
+	"ipc", "comm_per_instr", "imbalance", "branch_accuracy",
+	"vp_hit_ratio", "vp_confident_fraction", "error",
+}
+
+func csvRow(r Record) []string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+	return []string{
+		r.Config, r.Kernel, strconv.Itoa(r.Scale), strconv.Itoa(r.Clusters), r.VP, r.Steering,
+		strconv.Itoa(r.CommLat), strconv.Itoa(r.CommBW), strconv.Itoa(r.VPTable),
+		strconv.FormatInt(r.Cycles, 10), strconv.FormatUint(r.Instructions, 10),
+		strconv.FormatUint(r.BusTransfers, 10), strconv.FormatUint(r.Reissues, 10),
+		f(r.IPC), f(r.CommPerInstr), f(r.Imbalance), f(r.BranchAccuracy),
+		f(r.VPHitRatio), f(r.VPConfidentFraction), r.Err,
+	}
+}
+
+// WriteCSV emits the results as CSV with a header row.
+func WriteCSV(w io.Writer, rs []Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		if err := cw.Write(csvRow(ToRecord(r))); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Export writes the results to path, choosing the format by extension:
+// .csv means CSV, anything else JSON.
+func Export(path string, rs []Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(strings.ToLower(path), ".csv") {
+		err = WriteCSV(f, rs)
+	} else {
+		err = WriteJSON(f, rs)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

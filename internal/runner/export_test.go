@@ -1,0 +1,116 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clustervp/internal/config"
+	"clustervp/internal/stats"
+)
+
+func sampleResults() []Result {
+	cfg := config.Preset(4).WithVP(config.VPStride).WithSteering(config.SteerVPB)
+	return []Result{
+		{
+			Job: Job{Config: cfg, Kernel: "cjpeg", Scale: 2},
+			Res: stats.Results{
+				Config: cfg.Name, Benchmark: "cjpeg",
+				Cycles: 1000, Instructions: 2500, BusTransfers: 300, Reissues: 7,
+			},
+		},
+		{
+			Job: Job{Config: config.Preset(1), Kernel: "gsmdec", Scale: 1},
+			Err: errors.New("diverged"),
+		},
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	if err := json.Unmarshal(buf.Bytes(), &recs); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	r := recs[0]
+	if r.Config != "4cluster" || r.Kernel != "cjpeg" || r.Scale != 2 ||
+		r.VP != "stride" || r.Steering != "vpb" || r.Cycles != 1000 {
+		t.Errorf("bad record: %+v", r)
+	}
+	if want := 2.5; r.IPC != want {
+		t.Errorf("IPC = %v, want %v", r.IPC, want)
+	}
+	if recs[1].Err != "diverged" || recs[1].Cycles != 0 {
+		t.Errorf("failed job should carry error and zero counters: %+v", recs[1])
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want header + 2", len(rows))
+	}
+	if len(rows[0]) != len(csvHeader) {
+		t.Fatalf("header has %d columns, want %d", len(rows[0]), len(csvHeader))
+	}
+	for i, row := range rows[1:] {
+		if len(row) != len(csvHeader) {
+			t.Errorf("row %d has %d columns, want %d", i, len(row), len(csvHeader))
+		}
+	}
+	if rows[1][0] != "4cluster" || rows[1][1] != "cjpeg" {
+		t.Errorf("bad first row: %v", rows[1])
+	}
+	if rows[2][len(csvHeader)-1] != "diverged" {
+		t.Errorf("error column lost: %v", rows[2])
+	}
+}
+
+func TestExportByExtension(t *testing.T) {
+	dir := t.TempDir()
+	rs := sampleResults()
+
+	jp := filepath.Join(dir, "grid.json")
+	if err := Export(jp, rs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatalf("exported JSON invalid: %v", err)
+	}
+
+	cp := filepath.Join(dir, "grid.csv")
+	if err := Export(cp, rs); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil || len(rows) != 3 {
+		t.Fatalf("exported CSV invalid: %v (%d rows)", err, len(rows))
+	}
+}

@@ -1,0 +1,270 @@
+// Package runner is the experiment-grid engine behind cmd/experiments
+// and clustervp.RunGrid: it expands declarative grids of (machine
+// configuration × kernel × scale) into jobs, executes them on a bounded
+// worker pool, and memoizes results by a canonical fingerprint so a
+// configuration shared by several figures (e.g. the 1-cluster
+// centralized reference) is simulated exactly once per engine.
+//
+// Results always come back in job order, regardless of the order in
+// which workers finish, so grid output is deterministic under any
+// -jobs setting.
+package runner
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"clustervp/internal/config"
+	"clustervp/internal/core"
+	"clustervp/internal/stats"
+	"clustervp/internal/workload"
+)
+
+// Job is one simulation: a machine configuration applied to a suite
+// kernel at a workload scale.
+type Job struct {
+	Config config.Config
+	Kernel string
+	Scale  int
+}
+
+// EffectiveScale is the scale actually simulated (scales below 1 clamp
+// to 1, matching clustervp.Run).
+func (j Job) EffectiveScale() int {
+	if j.Scale < 1 {
+		return 1
+	}
+	return j.Scale
+}
+
+// Fingerprint is the canonical memoization key: the full Config value
+// (Name is cosmetic and zeroed out) plus the kernel and effective
+// scale. Deriving it from the struct itself means a field added to
+// Config later is covered automatically — at worst a cache miss, never
+// a silent false hit. Two jobs with equal fingerprints produce
+// identical Results, so the engine runs only one of them.
+func (j Job) Fingerprint() string {
+	c := j.Config
+	c.Name = ""
+	return fmt.Sprintf("%+v|%s@%d", c, j.Kernel, j.EffectiveScale())
+}
+
+// displayName labels a configuration in progress lines and exported
+// records.
+func displayName(c config.Config) string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("%dcluster", c.Clusters)
+}
+
+// String identifies the job in progress lines and errors.
+func (j Job) String() string {
+	return fmt.Sprintf("%s/%s(vp=%s,steer=%s)@%d",
+		displayName(j.Config), j.Kernel, j.Config.VP, j.Config.Steering, j.EffectiveScale())
+}
+
+// Result pairs a job with its outcome.
+type Result struct {
+	Job Job
+	Res stats.Results
+	Err error
+}
+
+// Grid declares a cross-product of configurations, kernels and scales.
+type Grid struct {
+	Configs []config.Config
+	Kernels []string
+	Scales  []int
+}
+
+// Jobs expands the grid in row-major (config, kernel, scale) order. A
+// nil Scales field means scale 1.
+func (g Grid) Jobs() []Job {
+	scales := g.Scales
+	if len(scales) == 0 {
+		scales = []int{1}
+	}
+	jobs := make([]Job, 0, len(g.Configs)*len(g.Kernels)*len(scales))
+	for _, c := range g.Configs {
+		for _, k := range g.Kernels {
+			for _, s := range scales {
+				jobs = append(jobs, Job{Config: c, Kernel: k, Scale: s})
+			}
+		}
+	}
+	return jobs
+}
+
+// FirstErr returns the first failed result in grid order, annotated
+// with the job that produced it, or nil if every job succeeded.
+func FirstErr(rs []Result) error {
+	for _, r := range rs {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Job, r.Err)
+		}
+	}
+	return nil
+}
+
+// Options configure an Engine.
+type Options struct {
+	// Workers bounds concurrent simulations; <=0 means GOMAXPROCS.
+	Workers int
+	// Run overrides the simulator (tests inject counting or failing
+	// stubs); nil means the real trace-driven timing simulator.
+	Run func(Job) (stats.Results, error)
+	// Progress, when non-nil, receives one line per executed
+	// (non-memoized) job. Memo hits are silent.
+	Progress io.Writer
+}
+
+// entry is one memo slot; ready closes once res/err are set, so
+// duplicate jobs in flight wait instead of re-simulating.
+type entry struct {
+	job   Job
+	ready chan struct{}
+	res   stats.Results
+	err   error
+}
+
+// Engine executes jobs with memoization. It is safe for concurrent use;
+// the memo persists across Run calls, which is how cmd/experiments
+// shares baselines between figures under -exp all.
+type Engine struct {
+	workers  int
+	run      func(Job) (stats.Results, error)
+	progress io.Writer
+	sem      chan struct{}
+
+	mu   sync.Mutex
+	memo map[string]*entry
+
+	// claimed counts memo slots ever claimed (simulations started or
+	// queued); finished counts simulations completed. Progress lines
+	// print [finished/claimed], which stays consistent under
+	// concurrent Run calls because each unique job is counted exactly
+	// once, at claim time.
+	claimed  int64
+	finished int64
+}
+
+// New returns an engine with the given options.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	run := opts.Run
+	if run == nil {
+		run = Simulate
+	}
+	return &Engine{
+		workers:  w,
+		run:      run,
+		progress: opts.Progress,
+		sem:      make(chan struct{}, w),
+		memo:     make(map[string]*entry),
+	}
+}
+
+// Workers reports the worker-pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Executed reports how many jobs have actually been simulated (memo
+// misses) over the engine's lifetime.
+func (e *Engine) Executed() int64 { return atomic.LoadInt64(&e.finished) }
+
+// Run executes the jobs and returns results in job order. Duplicate
+// jobs — within this call or against earlier calls on the same engine —
+// are simulated once and share the memoized result. Per-job errors are
+// reported in the results; use FirstErr to collapse them.
+func (e *Engine) Run(jobs []Job) []Result {
+	out := make([]Result, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j Job) {
+			defer wg.Done()
+			res, err := e.one(j)
+			out[i] = Result{Job: j, Res: res, Err: err}
+		}(i, j)
+	}
+	wg.Wait()
+	return out
+}
+
+// one resolves a single job through the memo, simulating at most once
+// per fingerprint. Only the goroutine that claims the memo slot takes a
+// worker token; duplicates block on ready without occupying the pool.
+func (e *Engine) one(j Job) (stats.Results, error) {
+	fp := j.Fingerprint()
+	e.mu.Lock()
+	if ent, ok := e.memo[fp]; ok {
+		e.mu.Unlock()
+		<-ent.ready
+		return ent.res, ent.err
+	}
+	ent := &entry{job: j, ready: make(chan struct{})}
+	e.memo[fp] = ent
+	e.mu.Unlock()
+	atomic.AddInt64(&e.claimed, 1)
+
+	e.sem <- struct{}{}
+	ent.res, ent.err = e.run(j)
+	<-e.sem
+
+	k := atomic.AddInt64(&e.finished, 1)
+	close(ent.ready)
+
+	if e.progress != nil {
+		n := atomic.LoadInt64(&e.claimed)
+		if ent.err != nil {
+			fmt.Fprintf(e.progress, "[%d/%d] %s: error: %v\n", k, n, j, ent.err)
+		} else {
+			fmt.Fprintf(e.progress, "[%d/%d] %s: IPC=%.3f cycles=%d\n", k, n, j, ent.res.IPC(), ent.res.Cycles)
+		}
+	}
+	return ent.res, ent.err
+}
+
+// Snapshot returns every completed unique job the engine has run, in a
+// deterministic order (sorted by fingerprint), one Result per memo
+// entry. This is the full result grid that -out exports.
+func (e *Engine) Snapshot() []Result {
+	e.mu.Lock()
+	fps := make([]string, 0, len(e.memo))
+	for fp, ent := range e.memo {
+		select {
+		case <-ent.ready:
+			fps = append(fps, fp)
+		default: // still in flight; skip
+		}
+	}
+	sort.Strings(fps)
+	out := make([]Result, len(fps))
+	for i, fp := range fps {
+		ent := e.memo[fp]
+		out[i] = Result{Job: ent.job, Res: ent.res, Err: ent.err}
+	}
+	e.mu.Unlock()
+	return out
+}
+
+// Simulate is the default Run function: build the kernel and drive the
+// trace-driven timing simulator (the same path as clustervp.Run).
+func Simulate(j Job) (stats.Results, error) {
+	k, err := workload.ByName(j.Kernel)
+	if err != nil {
+		return stats.Results{}, err
+	}
+	sim, err := core.New(j.Config, k.Build(j.EffectiveScale()))
+	if err != nil {
+		return stats.Results{}, err
+	}
+	return sim.Run()
+}

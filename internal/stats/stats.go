@@ -92,6 +92,29 @@ func (r Results) BranchAccuracy() float64 {
 	return float64(r.BranchHit) / float64(r.BranchSeen)
 }
 
+// Derived bundles the metrics the paper reports, computed from the raw
+// counters, in a serialization-friendly form for the grid exporter.
+type Derived struct {
+	IPC                 float64 `json:"ipc"`
+	CommPerInstr        float64 `json:"comm_per_instr"`
+	Imbalance           float64 `json:"imbalance"`
+	BranchAccuracy      float64 `json:"branch_accuracy"`
+	VPHitRatio          float64 `json:"vp_hit_ratio"`
+	VPConfidentFraction float64 `json:"vp_confident_fraction"`
+}
+
+// Derived computes the reported metrics for this record.
+func (r Results) Derived() Derived {
+	return Derived{
+		IPC:                 r.IPC(),
+		CommPerInstr:        r.CommPerInstr(),
+		Imbalance:           r.Imbalance(),
+		BranchAccuracy:      r.BranchAccuracy(),
+		VPHitRatio:          r.VP.HitRatio(),
+		VPConfidentFraction: r.VP.ConfidentFraction(),
+	}
+}
+
 // String renders a one-line summary.
 func (r Results) String() string {
 	return fmt.Sprintf("%s/%s: IPC=%.3f cycles=%d instrs=%d comm/instr=%.4f imbalance=%.3f reissues=%d",
