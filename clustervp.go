@@ -4,14 +4,20 @@
 //
 // The package wraps the internal substrates — workload kernels, the
 // trace-driven clustered out-of-order timing simulator, the stride value
-// predictor and the steering heuristics — behind three calls:
+// predictor, the steering heuristics and the pluggable interconnect
+// topologies — behind three calls:
 //
 //	cfg := clustervp.Preset(4).WithVP(clustervp.VPStride).WithSteering(clustervp.SteerVPB)
 //	res, err := clustervp.Run(cfg, "gsmdec", 1)
 //	suite, err := clustervp.RunSuite(cfg, 1)
 //
-// Results carry IPC, communications per instruction, workload imbalance
-// and predictor statistics; see the stats re-exports below.
+// The inter-cluster network is an experiment axis of its own: the
+// default is the paper's bus fabric, and WithTopology selects the ring,
+// crossbar or mesh extensions (see TopologyKind).
+//
+// Results carry IPC, communications per instruction, workload imbalance,
+// per-topology transfer statistics and predictor accounting; see the
+// stats re-exports below.
 package clustervp
 
 import (
@@ -19,6 +25,7 @@ import (
 
 	"clustervp/internal/config"
 	"clustervp/internal/core"
+	"clustervp/internal/interconnect"
 	"clustervp/internal/program"
 	"clustervp/internal/runner"
 	"clustervp/internal/stats"
@@ -53,6 +60,42 @@ const (
 	SteerLoadOnly   = config.SteerLoadOnly
 	SteerDepFIFO    = config.SteerDepFIFO
 )
+
+// TopologyKind selects the inter-cluster network model; use it with
+// Config.WithTopology. TopoBus is the paper's N×B write-port bus fabric
+// (§2.1, §4.2) and the default; ring, crossbar and mesh are extensions
+// that model link and port contention (mesh requires >= 4 clusters).
+type TopologyKind = interconnect.Kind
+
+// Interconnect topology selectors.
+const (
+	TopoBus      = interconnect.KindBus
+	TopoRing     = interconnect.KindRing
+	TopoCrossbar = interconnect.KindCrossbar
+	TopoMesh     = interconnect.KindMesh
+)
+
+// Topologies lists the selectable topology names ("bus", "ring",
+// "crossbar", "mesh").
+func Topologies() []string { return interconnect.KindNames() }
+
+// ParseTopology resolves a topology name to its kind; the error lists
+// the valid names.
+func ParseTopology(name string) (TopologyKind, error) { return interconnect.ParseKind(name) }
+
+// Steerings lists the selectable steering-scheme names.
+func Steerings() []string { return config.SteeringNames() }
+
+// ParseSteering resolves a steering name to its kind; the error lists
+// the valid names.
+func ParseSteering(name string) (config.SteeringKind, error) { return config.ParseSteering(name) }
+
+// VPs lists the selectable value-predictor names.
+func VPs() []string { return config.VPNames() }
+
+// ParseVP resolves a value-predictor name to its kind; the error lists
+// the valid names.
+func ParseVP(name string) (config.VPKind, error) { return config.ParseVP(name) }
 
 // Preset returns the paper's Table 1 machine for 1, 2 or 4 clusters.
 func Preset(clusters int) Config { return config.Preset(clusters) }

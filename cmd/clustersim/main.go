@@ -4,13 +4,17 @@
 // Usage:
 //
 //	clustersim -kernel gsmdec -clusters 4 -vp stride -steer vpb \
-//	           -commlat 1 -paths 0 -vptable 131072 -scale 1
+//	           -topology bus -commlat 1 -paths 0 -vptable 131072 -scale 1
 //
 // Examples:
 //
 //	clustersim -kernel cjpeg -clusters 1                      # centralized
 //	clustersim -kernel cjpeg -clusters 4 -vp stride -steer vpb
 //	clustersim -kernel mpeg2enc -clusters 4 -commlat 4        # slow wires
+//	clustersim -kernel cjpeg -clusters 4 -topology mesh -paths 1
+//
+// Unknown enum values (-vp, -steer, -topology) and unsupported -clusters
+// counts exit with status 2 and a message listing the valid choices.
 package main
 
 import (
@@ -23,14 +27,23 @@ import (
 	"clustervp"
 )
 
+// fail prints the message and the flag usage, then exits with status 2
+// (the flag package's own exit code for bad command lines).
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
 func main() {
 	kernel := flag.String("kernel", "gsmdec", "benchmark kernel (see -list)")
 	list := flag.Bool("list", false, "list available kernels and exit")
 	clusters := flag.Int("clusters", 4, "number of clusters (1, 2 or 4)")
-	vp := flag.String("vp", "none", "value predictor: none, stride, twodelta, perfect")
-	steerKind := flag.String("steer", "baseline", "steering: baseline, modified, vpb")
-	commlat := flag.Int("commlat", 1, "inter-cluster communication latency (cycles)")
-	paths := flag.Int("paths", 0, "inter-cluster paths per cluster (0 = unbounded)")
+	vp := flag.String("vp", "none", "value predictor: "+strings.Join(clustervp.VPs(), ", "))
+	steerKind := flag.String("steer", "baseline", "steering: "+strings.Join(clustervp.Steerings(), ", "))
+	topology := flag.String("topology", "bus", "interconnect topology: "+strings.Join(clustervp.Topologies(), ", "))
+	commlat := flag.Int("commlat", 1, "inter-cluster communication latency per hop (cycles)")
+	paths := flag.Int("paths", 0, "inter-cluster paths per cluster/link (0 = unbounded)")
 	vptable := flag.Int("vptable", 128*1024, "value prediction table entries")
 	rename := flag.Int("rename", 1, "rename/steer stage depth in cycles")
 	scale := flag.Int("scale", 1, "workload scale factor")
@@ -44,30 +57,29 @@ func main() {
 		return
 	}
 
-	cfg := clustervp.Preset(*clusters).WithComm(*commlat, *paths).WithVPTable(*vptable)
+	if *clusters != 1 && *clusters != 2 && *clusters != 4 {
+		fail("unsupported -clusters %d (valid: 1, 2, 4)", *clusters)
+	}
+	vpKind, err := clustervp.ParseVP(strings.ToLower(*vp))
+	if err != nil {
+		fail("invalid -vp: %v", err)
+	}
+	steering, err := clustervp.ParseSteering(strings.ToLower(*steerKind))
+	if err != nil {
+		fail("invalid -steer: %v", err)
+	}
+	topo, err := clustervp.ParseTopology(strings.ToLower(*topology))
+	if err != nil {
+		fail("invalid -topology: %v", err)
+	}
+
+	cfg := clustervp.Preset(*clusters).
+		WithComm(*commlat, *paths).
+		WithVPTable(*vptable).
+		WithVP(vpKind).
+		WithSteering(steering).
+		WithTopology(topo)
 	cfg.RenameCycles = *rename
-	switch strings.ToLower(*vp) {
-	case "none":
-	case "stride":
-		cfg = cfg.WithVP(clustervp.VPStride)
-	case "twodelta":
-		cfg = cfg.WithVP(clustervp.VPTwoDelta)
-	case "perfect":
-		cfg = cfg.WithVP(clustervp.VPPerfect)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -vp %q\n", *vp)
-		os.Exit(2)
-	}
-	switch strings.ToLower(*steerKind) {
-	case "baseline":
-	case "modified":
-		cfg = cfg.WithSteering(clustervp.SteerModified)
-	case "vpb":
-		cfg = cfg.WithSteering(clustervp.SteerVPB)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -steer %q\n", *steerKind)
-		os.Exit(2)
-	}
 
 	r, err := clustervp.Run(cfg, *kernel, *scale)
 	if err != nil {
@@ -87,15 +99,16 @@ func main() {
 	}
 
 	fmt.Printf("benchmark            %s\n", r.Benchmark)
-	fmt.Printf("configuration        %s (vp=%s steer=%s commlat=%d paths=%d)\n",
-		cfg.Name, *vp, *steerKind, *commlat, *paths)
+	fmt.Printf("configuration        %s (vp=%s steer=%s topology=%s commlat=%d paths=%d)\n",
+		cfg.Name, vpKind, steering, topo, *commlat, *paths)
 	fmt.Printf("cycles               %d\n", r.Cycles)
 	fmt.Printf("instructions         %d\n", r.Instructions)
 	fmt.Printf("IPC                  %.4f\n", r.IPC())
 	fmt.Printf("copies               %d\n", r.Copies)
 	fmt.Printf("verification-copies  %d\n", r.VerifyCopies)
-	fmt.Printf("bus transfers        %d (%.4f per instruction)\n", r.BusTransfers, r.CommPerInstr())
-	fmt.Printf("bus stalls           %d\n", r.BusStalls)
+	fmt.Printf("transfers            %d (%.4f per instruction, %.2f mean hops)\n",
+		r.BusTransfers, r.CommPerInstr(), r.MeanHops())
+	fmt.Printf("transfer stalls      %d\n", r.BusStalls)
 	fmt.Printf("workload imbalance   %.4f (NREADY per cycle)\n", r.Imbalance())
 	fmt.Printf("reissues             %d\n", r.Reissues)
 	fmt.Printf("predicted operands   %d used, %d wrong\n", r.PredictedOperandsUsed, r.PredictedOperandsWrong)

@@ -1,9 +1,11 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation (Figures 2-5, plus the §3.2 and §3.3 textual experiments).
+// evaluation (Figures 2-5, plus the §3.2 and §3.3 textual experiments),
+// and the extensions beyond it (steering/predictor variants, and the
+// interconnect-topology sweep).
 //
 // Usage:
 //
-//	experiments [-exp all|fig2|fig3|fig4a|fig4b|fig5|rename2|mod|ext]
+//	experiments [-exp all|fig2|fig3|fig4a|fig4b|fig5|rename2|mod|ext|topo]
 //	            [-scale N] [-jobs N] [-out results.json]
 //
 // Each figure declares a grid of (configuration × kernel) jobs; all
@@ -44,10 +46,11 @@ type experiment struct {
 var experiments = []experiment{
 	{"fig2", fig2}, {"fig3", fig3}, {"fig4a", fig4a}, {"fig4b", fig4b},
 	{"fig5", fig5}, {"rename2", rename2}, {"mod", mod}, {"ext", ext},
+	{"topo", topo},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, fig4a, fig4b, fig5, rename2, mod, ext")
+	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, fig4a, fig4b, fig5, rename2, mod, ext, topo")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	out := flag.String("out", "", "dump the full result grid to this file (.json or .csv)")
@@ -409,6 +412,61 @@ func mod(e *env) error {
 	for i, s := range schemes {
 		agg := aggs[i]
 		t.Add(s.label, f3(agg.IPC()), f3(agg.Imbalance()), f4(agg.CommPerInstr()))
+	}
+	fmt.Fprintln(e.out, t.String())
+	return nil
+}
+
+// topo is the topology sweep, an extension beyond the paper: the
+// 4-cluster machine on each interconnect topology, with bandwidth
+// bounded to one path per port/link so contention differentiates the
+// fabrics, with and without the paper's mechanism (stride VP + VPB
+// steering). The paper's own fabric is the bus row; the unbounded bus
+// rows anchor the sweep against the §4.2 isolation configuration.
+func topo(e *env) error {
+	type variant struct {
+		label string
+		mk    func() clustervp.Config
+	}
+	withVP := func(c clustervp.Config) clustervp.Config {
+		return c.WithVP(clustervp.VPStride).WithSteering(clustervp.SteerVPB)
+	}
+	base := func(t clustervp.TopologyKind) clustervp.Config {
+		return clustervp.Preset(4).WithComm(1, 1).WithTopology(t)
+	}
+	var variants []variant
+	for _, t := range []clustervp.TopologyKind{
+		clustervp.TopoBus, clustervp.TopoRing, clustervp.TopoCrossbar, clustervp.TopoMesh,
+	} {
+		t := t
+		variants = append(variants,
+			variant{t.String(), func() clustervp.Config { return base(t) }},
+			variant{t.String() + "+vp", func() clustervp.Config { return withVP(base(t)) }},
+		)
+	}
+	variants = append(variants,
+		variant{"bus-unbounded", func() clustervp.Config { return clustervp.Preset(4) }},
+		variant{"bus-unbounded+vp", func() clustervp.Config { return withVP(clustervp.Preset(4)) }},
+	)
+	var labels []string
+	var cfgs []clustervp.Config
+	for _, v := range variants {
+		labels = append(labels, v.label)
+		cfgs = append(cfgs, v.mk())
+	}
+	aggs, err := e.aggregates(labels, cfgs...)
+	if err != nil {
+		return err
+	}
+	t := stats.Table{
+		Title:  "Topology sweep: 4 clusters, 1 path per port/link (B=1), suite aggregate",
+		Header: []string{"topology", "IPC", "comm/instr", "stalls/instr", "mean-hops", "imbalance"},
+	}
+	for i, v := range variants {
+		agg := aggs[i]
+		t.Add(v.label, f3(agg.IPC()), f4(agg.CommPerInstr()),
+			f4(float64(agg.BusStalls)/float64(agg.Instructions)),
+			f3(agg.MeanHops()), f3(agg.Imbalance()))
 	}
 	fmt.Fprintln(e.out, t.String())
 	return nil

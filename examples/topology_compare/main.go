@@ -1,0 +1,47 @@
+// topology_compare: the interconnect as an experiment axis — run one
+// communication-bound kernel on the 4-cluster machine over all four
+// network topologies (the paper's bus, plus ring / crossbar / mesh) at
+// bounded bandwidth, and show how value prediction shields each fabric
+// from its own contention and hop latency.
+//
+//	go run ./examples/topology_compare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clustervp"
+)
+
+func main() {
+	kernel := "cjpeg" // integer DCT: communication-bound, fully VP-coverable
+
+	fmt.Printf("%s on the 4-cluster machine, 1 path per port/link:\n\n", kernel)
+	fmt.Printf("%-10s %8s %8s %12s %10s %10s\n",
+		"topology", "IPC", "IPC+vp", "comm/instr", "stalls", "mean-hops")
+
+	for _, topo := range []clustervp.TopologyKind{
+		clustervp.TopoBus, clustervp.TopoRing, clustervp.TopoCrossbar, clustervp.TopoMesh,
+	} {
+		// Bandwidth bounded to one transfer per port/link per cycle, so
+		// the fabrics actually differ; unbounded bandwidth would collapse
+		// ring/crossbar/mesh contention to pure hop latency.
+		base := clustervp.Preset(4).WithComm(1, 1).WithTopology(topo)
+		plain, err := clustervp.Run(base, kernel, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vp, err := clustervp.Run(
+			base.WithVP(clustervp.VPStride).WithSteering(clustervp.SteerVPB), kernel, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %8.3f %8.3f %12.4f %10d %10.2f\n",
+			topo, plain.IPC(), vp.IPC(), vp.CommPerInstr(), vp.BusStalls, vp.MeanHops())
+	}
+
+	fmt.Println("\nThe ring pays the most hops, the crossbar adds source-port")
+	fmt.Println("arbitration, and the mesh sits between; value prediction cuts")
+	fmt.Println("communication roughly in half on every fabric.")
+}

@@ -1,8 +1,16 @@
-// Package config defines the simulator configuration and the paper's
-// Table 1 presets for the 1-, 2- and 4-cluster machines.
+// Package config defines the simulator configuration — the paper's
+// Table 1 machine presets for the 1-, 2- and 4-cluster configurations,
+// the steering (§3), value-predictor (§2.2) and interconnect-topology
+// (§4.2) selectors, validation, and the With* builder methods the
+// experiments compose sweeps from.
 package config
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+
+	"clustervp/internal/interconnect"
+)
 
 // SteeringKind selects the instruction-steering heuristic (§3).
 type SteeringKind int
@@ -117,11 +125,17 @@ type Config struct {
 	// default; §3.3 evaluates 2).
 	RenameCycles int
 
-	// CommLatency is the inter-cluster bus latency in cycles (§4.1).
+	// CommLatency is the inter-cluster transfer latency in cycles (§4.1);
+	// on multi-hop topologies it is the per-hop latency.
 	CommLatency int
 	// CommPaths is the per-cluster inter-cluster write-port/bus count
-	// (§4.2); 0 means unbounded.
+	// (§4.2), reused as the per-port or per-link width on the other
+	// topologies; 0 means unbounded.
 	CommPaths int
+	// Topology selects the inter-cluster network model; the zero value is
+	// the paper's N×B bus fabric (§2.1, §4.2), and ring, crossbar and
+	// mesh are extensions beyond the paper.
+	Topology interconnect.Kind
 
 	// DCachePorts is the number of L1D read/write ports shared by all
 	// clusters (Table 1: 3).
@@ -170,10 +184,10 @@ func (c Config) Validate() error {
 	if c.RenameCycles < 1 {
 		return fmt.Errorf("config %s: rename cycles must be >= 1", c.Name)
 	}
-	if c.CommLatency < 1 {
-		return fmt.Errorf("config %s: comm latency must be >= 1", c.Name)
+	if err := c.Interconnect().Validate(); err != nil {
+		return fmt.Errorf("config %s: %w", c.Name, err)
 	}
-	if c.CommPaths < 0 || c.DCachePorts < 1 {
+	if c.DCachePorts < 1 {
 		return fmt.Errorf("config %s: bad port counts", c.Name)
 	}
 	if (c.VP == VPStride || c.VP == VPTwoDelta) && (c.VPTableEntries <= 0 || c.VPTableEntries&(c.VPTableEntries-1) != 0) {
@@ -254,8 +268,71 @@ func (c Config) WithComm(latency, paths int) Config {
 	return c
 }
 
+// WithTopology returns a copy using the given interconnect topology.
+func (c Config) WithTopology(t interconnect.Kind) Config {
+	c.Topology = t
+	return c
+}
+
 // WithVPTable returns a copy with the given stride-table size.
 func (c Config) WithVPTable(entries int) Config {
 	c.VPTableEntries = entries
 	return c
+}
+
+// Interconnect derives the inter-cluster network configuration.
+func (c Config) Interconnect() interconnect.Config {
+	return interconnect.Config{
+		Topology:        c.Topology,
+		Clusters:        c.Clusters,
+		PathsPerCluster: c.CommPaths,
+		Latency:         c.CommLatency,
+	}
+}
+
+// numSteerings/numVPs are sentinels for the parsers below; keep them in
+// sync with the const blocks above.
+const (
+	numSteerings = int(SteerDepFIFO) + 1
+	numVPs       = int(VPTwoDelta) + 1
+)
+
+// SteeringNames lists the selectable steering-scheme names.
+func SteeringNames() []string {
+	names := make([]string, numSteerings)
+	for i := range names {
+		names[i] = SteeringKind(i).String()
+	}
+	return names
+}
+
+// ParseSteering resolves a steering name (as printed by
+// SteeringKind.String) to its kind; the error lists the valid names.
+func ParseSteering(name string) (SteeringKind, error) {
+	for i := 0; i < numSteerings; i++ {
+		if SteeringKind(i).String() == name {
+			return SteeringKind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown steering %q (valid: %s)", name, strings.Join(SteeringNames(), ", "))
+}
+
+// VPNames lists the selectable value-predictor names.
+func VPNames() []string {
+	names := make([]string, numVPs)
+	for i := range names {
+		names[i] = VPKind(i).String()
+	}
+	return names
+}
+
+// ParseVP resolves a predictor name (as printed by VPKind.String) to its
+// kind; the error lists the valid names.
+func ParseVP(name string) (VPKind, error) {
+	for i := 0; i < numVPs; i++ {
+		if VPKind(i).String() == name {
+			return VPKind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown value predictor %q (valid: %s)", name, strings.Join(VPNames(), ", "))
 }

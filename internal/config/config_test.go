@@ -1,6 +1,11 @@
 package config
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"clustervp/internal/interconnect"
+)
 
 func TestTable1Presets(t *testing.T) {
 	// The exact Table 1 numbers.
@@ -88,6 +93,7 @@ func TestValidationCatchesBadConfigs(t *testing.T) {
 		mk(func(c *Config) { c.DCachePorts = 0 }),
 		mk(func(c *Config) { c.VP = VPStride; c.VPTableEntries = 100 }),
 		mk(func(c *Config) { c.Cluster.PhysRegs = 4 }),
+		mk(func(c *Config) { c.Topology = interconnect.Kind(99) }),
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {
@@ -105,5 +111,52 @@ func TestKindStrings(t *testing.T) {
 	}
 	if SteeringKind(99).String() == "" || VPKind(99).String() == "" {
 		t.Error("unknown kinds must still render")
+	}
+}
+
+func TestTopologyPlumbing(t *testing.T) {
+	base := Preset(4)
+	if base.Topology != interconnect.KindBus {
+		t.Errorf("preset topology = %v, want the paper's bus", base.Topology)
+	}
+	mesh := base.WithTopology(interconnect.KindMesh)
+	if base.Topology != interconnect.KindBus {
+		t.Error("WithTopology must not mutate the receiver")
+	}
+	if mesh.Topology != interconnect.KindMesh {
+		t.Error("WithTopology must apply the change")
+	}
+	if err := mesh.Validate(); err != nil {
+		t.Errorf("4-cluster mesh must validate: %v", err)
+	}
+	// Mesh needs 4+ clusters; the 2-cluster preset must reject it.
+	if err := Preset(2).WithTopology(interconnect.KindMesh).Validate(); err == nil {
+		t.Error("2-cluster mesh must be rejected")
+	}
+	ic := Preset(2).WithComm(4, 2).WithTopology(interconnect.KindRing).Interconnect()
+	want := interconnect.Config{Topology: interconnect.KindRing, Clusters: 2, PathsPerCluster: 2, Latency: 4}
+	if ic != want {
+		t.Errorf("Interconnect() = %+v, want %+v", ic, want)
+	}
+}
+
+func TestParsersRoundTrip(t *testing.T) {
+	for _, name := range SteeringNames() {
+		k, err := ParseSteering(name)
+		if err != nil || k.String() != name {
+			t.Errorf("ParseSteering(%q) = %v, %v", name, k, err)
+		}
+	}
+	for _, name := range VPNames() {
+		k, err := ParseVP(name)
+		if err != nil || k.String() != name {
+			t.Errorf("ParseVP(%q) = %v, %v", name, k, err)
+		}
+	}
+	if _, err := ParseSteering("nope"); err == nil || !strings.Contains(err.Error(), "baseline") {
+		t.Errorf("ParseSteering error must list valid names, got %v", err)
+	}
+	if _, err := ParseVP("nope"); err == nil || !strings.Contains(err.Error(), "stride") {
+		t.Errorf("ParseVP error must list valid names, got %v", err)
 	}
 }

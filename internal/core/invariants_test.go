@@ -1,10 +1,12 @@
 package core
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"clustervp/internal/config"
+	"clustervp/internal/interconnect"
 	"clustervp/internal/isa"
 	"clustervp/internal/program"
 	"clustervp/internal/trace"
@@ -18,7 +20,7 @@ func TestDeterminism(t *testing.T) {
 	cfg := config.Preset(4).WithVP(config.VPStride).WithSteering(config.SteerVPB)
 	a := run(t, cfg, k.Build(1))
 	b := run(t, cfg, k.Build(1))
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Errorf("runs differ:\n%+v\n%+v", a, b)
 	}
 }
@@ -188,6 +190,51 @@ func TestTinyVPTableStillCorrect(t *testing.T) {
 	r := run(t, config.Preset(4).WithVP(config.VPStride).WithSteering(config.SteerVPB).WithVPTable(16), k.Build(1))
 	if r.Instructions != want {
 		t.Errorf("committed %d, want %d (16-entry table)", r.Instructions, want)
+	}
+}
+
+func TestAllTopologiesCommitExactCount(t *testing.T) {
+	// The topology changes timing only: under any fabric, at any
+	// bandwidth, exactly the trace's instruction count must commit.
+	k, _ := workload.ByName("djpeg")
+	e := trace.NewExecutor(k.Build(1))
+	want, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topo := range []interconnect.Kind{
+		interconnect.KindBus, interconnect.KindRing, interconnect.KindCrossbar, interconnect.KindMesh,
+	} {
+		for _, paths := range []int{0, 1} {
+			cfg := config.Preset(4).WithComm(1, paths).WithTopology(topo).
+				WithVP(config.VPStride).WithSteering(config.SteerVPB)
+			r := run(t, cfg, k.Build(1))
+			if r.Instructions != want {
+				t.Errorf("%v paths=%d: committed %d, want %d", topo, paths, r.Instructions, want)
+			}
+			if r.Topology != topo.String() {
+				t.Errorf("results topology = %q, want %q", r.Topology, topo)
+			}
+			if r.BusTransfers > 0 && r.MeanHops() < 1 {
+				t.Errorf("%v: mean hops %.2f below 1 with %d transfers", topo, r.MeanHops(), r.BusTransfers)
+			}
+		}
+	}
+}
+
+// Multi-hop fabrics at bounded bandwidth must slow a communication-bound
+// kernel down relative to the single-hop bus, never speed it up beyond
+// the unbounded-bus bound.
+func TestRingSlowerThanUnboundedBus(t *testing.T) {
+	k, _ := workload.ByName("gsmenc")
+	unbounded := run(t, config.Preset(4), k.Build(1))
+	ring := run(t, config.Preset(4).WithComm(1, 1).WithTopology(interconnect.KindRing), k.Build(1))
+	if ring.Cycles < unbounded.Cycles {
+		t.Errorf("bounded ring (%d cycles) cannot beat the unbounded bus (%d cycles)",
+			ring.Cycles, unbounded.Cycles)
+	}
+	if ring.MeanHops() <= 1 {
+		t.Errorf("4-cluster ring mean hops = %.2f, must exceed 1", ring.MeanHops())
 	}
 }
 

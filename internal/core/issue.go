@@ -41,10 +41,12 @@ func (s *Sim) issue(now int64) {
 			// idle FUs, so port denials are excluded.
 			continue
 		}
-		// Bus reservation check for copies and for verification-copies
-		// that will have to forward (mismatch known functionally).
+		// Route reservation check for copies and for verification-copies
+		// that will have to forward (mismatch known functionally). The
+		// copy executes in its producer's cluster (e.cluster) and ships
+		// the value to e.dstCluster.
 		needsBus := e.isCopy || (e.isVC && !e.vcCorrect)
-		if needsBus && !s.net.CanReserve(e.dstCluster, now+1) {
+		if needsBus && !s.net.CanReserve(e.cluster, e.dstCluster, now+1) {
 			s.out.BusStalls++
 			continue
 		}
@@ -62,9 +64,9 @@ func (s *Sim) issue(now int64) {
 		e.issueTime = now
 		switch {
 		case e.isCopy:
-			arrival, ok := s.net.Reserve(e.dstCluster, now+1)
+			arrival, ok := s.net.Reserve(e.cluster, e.dstCluster, now+1)
 			if !ok {
-				panic("core: bus reservation failed after CanReserve")
+				panic("core: route reservation failed after CanReserve")
 			}
 			e.doneTime = arrival
 		case e.isVC:
@@ -72,9 +74,9 @@ func (s *Sim) issue(now int64) {
 				// Local compare only; no wire crossed.
 				e.doneTime = now + 1
 			} else {
-				arrival, ok := s.net.Reserve(e.dstCluster, now+1)
+				arrival, ok := s.net.Reserve(e.cluster, e.dstCluster, now+1)
 				if !ok {
-					panic("core: bus reservation failed after CanReserve")
+					panic("core: route reservation failed after CanReserve")
 				}
 				e.doneTime = arrival
 			}

@@ -39,7 +39,7 @@ type Sim struct {
 	vp     vpred.Predictor
 	caches cache.Oracle
 	hier   *cache.Hierarchy // nil when PerfectCaches
-	net    *interconnect.Network
+	net    interconnect.Topology
 	bal    *steer.Balancer
 	str    steer.Chooser
 	table  *rename.Table[eref]
@@ -117,11 +117,7 @@ func New(cfg config.Config, prog *program.Program) (*Sim, error) {
 		s.hier = cache.DefaultHierarchy()
 		s.caches = s.hier
 	}
-	s.net = interconnect.New(interconnect.Config{
-		Clusters:        cfg.Clusters,
-		PathsPerCluster: cfg.CommPaths,
-		Latency:         cfg.CommLatency,
-	})
+	s.net = interconnect.New(cfg.Interconnect())
 	s.res = make([]*cluster.Resources, cfg.Clusters)
 	for c := range s.res {
 		s.res[c] = cluster.New(cfg.Cluster)
@@ -182,7 +178,10 @@ func (s *Sim) Run() (stats.Results, error) {
 	s.out.VP = s.vp.Stats()
 	s.out.BranchSeen = s.bp.CondSeen + s.bp.TargetSeen
 	s.out.BranchHit = s.bp.CondHit + s.bp.TargetHit
-	s.out.BusTransfers = s.net.Transfers
+	ist := s.net.Stats()
+	s.out.Topology = s.cfg.Topology.String()
+	s.out.BusTransfers = ist.Transfers
+	s.out.HopHistogram = ist.Hops
 	if s.hier != nil {
 		s.out.L1IMisses = s.hier.L1I.Misses
 		s.out.L1DMisses = s.hier.L1D.Misses

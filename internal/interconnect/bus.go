@@ -1,0 +1,61 @@
+package interconnect
+
+// Bus is the paper's network (§2.1, §4.2): N×B independent
+// fully-pipelined buses, where each bus can be driven by any cluster and
+// terminates in one dedicated write port on a single destination
+// cluster's register file. The source cluster is therefore irrelevant to
+// arbitration — only the B launch slots per destination per cycle are
+// contended — and every transfer is a single hop arriving Latency cycles
+// after launch.
+type Bus struct {
+	cfg Config
+	// ports books launch slots per destination write-port group.
+	ports *linkSched
+	stats Stats
+}
+
+var _ Topology = (*Bus)(nil)
+
+// NewBus builds the paper's bus fabric; it panics on invalid
+// configuration.
+func NewBus(cfg Config) *Bus {
+	cfg.Topology = KindBus
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Bus{cfg: cfg, ports: newLinkSched(cfg.Clusters, cfg.PathsPerCluster)}
+}
+
+// Kind identifies the topology.
+func (b *Bus) Kind() Kind { return KindBus }
+
+// Config returns the network configuration.
+func (b *Bus) Config() Config { return b.cfg }
+
+// CanReserve reports whether a transfer toward cluster dst may launch at
+// the given cycle; src does not matter on this fabric.
+func (b *Bus) CanReserve(src, dst int, cycle int64) bool {
+	return b.ports.free(dst, cycle)
+}
+
+// Reserve books a launch slot toward dst at cycle and returns the
+// arrival cycle. ok is false when every bus toward dst is busy that
+// cycle.
+func (b *Bus) Reserve(src, dst int, cycle int64) (arrival int64, ok bool) {
+	if !b.ports.free(dst, cycle) {
+		b.stats.Stalls++
+		return 0, false
+	}
+	b.ports.book(dst, cycle)
+	b.stats.record(1)
+	return cycle + int64(b.cfg.Latency), true
+}
+
+// Stats returns the accumulated measurements.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Reset clears reservations and statistics.
+func (b *Bus) Reset() {
+	b.ports.reset()
+	b.stats = Stats{}
+}

@@ -1,0 +1,70 @@
+package interconnect
+
+// Crossbar is a full N×N crossbar with per-port arbitration: every
+// cluster owns one output port into the switch and one input port (the
+// register-file write side) out of it, each admitting PathsPerCluster
+// launches per cycle (0 = unbounded). A transfer needs both its source's
+// output port and its destination's input port in the launch cycle; the
+// switch itself is non-blocking, so that is the only contention. Every
+// transfer is a single hop arriving Latency cycles after launch.
+//
+// Relative to the paper's Bus fabric the crossbar adds source-side
+// arbitration: a cluster bursting copies to several destinations in one
+// cycle serializes on its output port, which the bus model lets through.
+type Crossbar struct {
+	cfg   Config
+	out   *linkSched // per-source output ports
+	in    *linkSched // per-destination input ports
+	stats Stats
+}
+
+var _ Topology = (*Crossbar)(nil)
+
+// NewCrossbar builds a full crossbar; it panics on invalid
+// configuration.
+func NewCrossbar(cfg Config) *Crossbar {
+	cfg.Topology = KindCrossbar
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Crossbar{
+		cfg: cfg,
+		out: newLinkSched(cfg.Clusters, cfg.PathsPerCluster),
+		in:  newLinkSched(cfg.Clusters, cfg.PathsPerCluster),
+	}
+}
+
+// Kind identifies the topology.
+func (x *Crossbar) Kind() Kind { return KindCrossbar }
+
+// Config returns the network configuration.
+func (x *Crossbar) Config() Config { return x.cfg }
+
+// CanReserve reports whether a transfer src -> dst may launch at the
+// given cycle: both the source output port and the destination input
+// port must have a free slot.
+func (x *Crossbar) CanReserve(src, dst int, cycle int64) bool {
+	return x.out.free(src, cycle) && x.in.free(dst, cycle)
+}
+
+// Reserve books both ports at cycle and returns the arrival cycle.
+func (x *Crossbar) Reserve(src, dst int, cycle int64) (arrival int64, ok bool) {
+	if !x.CanReserve(src, dst, cycle) {
+		x.stats.Stalls++
+		return 0, false
+	}
+	x.out.book(src, cycle)
+	x.in.book(dst, cycle)
+	x.stats.record(1)
+	return cycle + int64(x.cfg.Latency), true
+}
+
+// Stats returns the accumulated measurements.
+func (x *Crossbar) Stats() Stats { return x.stats }
+
+// Reset clears reservations and statistics.
+func (x *Crossbar) Reset() {
+	x.out.reset()
+	x.in.reset()
+	x.stats = Stats{}
+}

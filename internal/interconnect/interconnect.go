@@ -1,31 +1,115 @@
-// Package interconnect models the paper's inter-cluster communication
-// network (§2.1, §4.2): for an N-cluster configuration, N×B independent
-// fully-pipelined paths, where each path is a bus that any cluster can
-// drive and that feeds one dedicated write port on a single destination
-// cluster's register file. A transfer occupies its bus for exactly one
-// cycle (issue-time reservation, like any other resource), and the value
-// arrives Latency cycles later.
+// Package interconnect models the inter-cluster communication network.
+//
+// The paper (§2.1, §4.2) evaluates one fabric: for an N-cluster
+// configuration, N×B independent fully-pipelined point-to-point buses,
+// where each bus can be driven by any cluster and feeds one dedicated
+// write port on a single destination cluster's register file. A transfer
+// occupies its bus for exactly one cycle (issue-time reservation, like
+// any other resource) and the value arrives Latency cycles later. That
+// model is the Bus topology here, and it remains the default.
+//
+// Because the paper's first-order result is that wire delay — not
+// execution bandwidth — bounds clustered performance, the natural
+// follow-up question is how its steering and value-prediction mechanisms
+// behave on richer, contention-prone fabrics. The package therefore
+// exposes a Topology interface with four implementations:
+//
+//   - Bus: the paper's N×B write-port buses (§4.2), bit-for-bit the
+//     original model.
+//   - Ring: a unidirectional ring; a transfer crosses (dst-src) mod N
+//     links, each hop costing Latency cycles, and contends for every
+//     link on its path.
+//   - Crossbar: a full N×N crossbar with per-port arbitration — a
+//     transfer needs both its source output port and its destination
+//     input port in the launch cycle.
+//   - Mesh: a 2D mesh with dimension-order (X-then-Y) routing for 4+
+//     cluster machines; hop count is the Manhattan distance.
 //
 // Unbounded bandwidth (the paper's default isolation configuration) is
-// modeled with PathsPerCluster == 0.
+// modeled with PathsPerCluster == 0 in every topology; bounded
+// configurations reuse PathsPerCluster as the per-port or per-link
+// width. Every topology reports Stats: completed transfers, stalled
+// reservation attempts, and a histogram of route lengths in hops.
 package interconnect
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind selects a network topology.
+type Kind int
+
+const (
+	// KindBus is the paper's N×B fully-pipelined write-port buses
+	// (§2.1, §4.2) — the default.
+	KindBus Kind = iota
+	// KindRing is a unidirectional ring with hop-based latency.
+	KindRing
+	// KindCrossbar is a full crossbar with per-port arbitration.
+	KindCrossbar
+	// KindMesh is a 2D mesh with dimension-order routing (4+ clusters).
+	KindMesh
+
+	numKinds // sentinel for validation
+)
+
+// String names the topology kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBus:
+		return "bus"
+	case KindRing:
+		return "ring"
+	case KindCrossbar:
+		return "crossbar"
+	case KindMesh:
+		return "mesh"
+	}
+	return fmt.Sprintf("topology?%d", int(k))
+}
+
+// KindNames lists the selectable topology names in declaration order.
+func KindNames() []string {
+	names := make([]string, numKinds)
+	for k := Kind(0); k < numKinds; k++ {
+		names[k] = k.String()
+	}
+	return names
+}
+
+// ParseKind resolves a topology name (as printed by Kind.String) to its
+// Kind; the error lists the valid names.
+func ParseKind(name string) (Kind, error) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown topology %q (valid: %s)", name, strings.Join(KindNames(), ", "))
+}
 
 // Config describes the interconnect.
 type Config struct {
+	// Topology selects the network model; the zero value is the paper's
+	// bus fabric.
+	Topology Kind
 	// Clusters is N, the number of clusters.
 	Clusters int
-	// PathsPerCluster is B, the number of buses terminating at each
-	// cluster's register file; 0 means unbounded bandwidth.
+	// PathsPerCluster is B, the per-port (bus, crossbar) or per-link
+	// (ring, mesh) transfer width per cycle; 0 means unbounded
+	// bandwidth.
 	PathsPerCluster int
-	// Latency is the bus transfer latency in cycles (the paper evaluates
-	// 1, 2 and 4).
+	// Latency is the per-hop transfer latency in cycles (the paper
+	// evaluates 1, 2 and 4 on the single-hop bus).
 	Latency int
 }
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
+	if c.Topology < 0 || c.Topology >= numKinds {
+		return fmt.Errorf("interconnect: unknown topology %d (valid: %s)", int(c.Topology), strings.Join(KindNames(), ", "))
+	}
 	if c.Clusters <= 0 {
 		return fmt.Errorf("interconnect: clusters must be positive, got %d", c.Clusters)
 	}
@@ -35,104 +119,88 @@ func (c Config) Validate() error {
 	if c.Latency <= 0 {
 		return fmt.Errorf("interconnect: latency must be >= 1, got %d", c.Latency)
 	}
+	if c.Topology == KindRing && c.Clusters < 2 {
+		return fmt.Errorf("interconnect: ring topology needs >= 2 clusters, got %d", c.Clusters)
+	}
+	if c.Topology == KindMesh && c.Clusters < 4 {
+		return fmt.Errorf("interconnect: mesh topology needs >= 4 clusters, got %d", c.Clusters)
+	}
 	return nil
 }
 
-// Network tracks per-cycle bus reservations. Because buses are fully
-// pipelined, the only contended resource is the single launch slot per
-// bus per cycle; we track, per destination cluster, how many launches
-// have been booked for each cycle in a sliding window.
-type Network struct {
-	cfg Config
-	// booked[dst] maps cycle -> number of transfers launched that cycle
-	// toward dst. A ring buffer keyed by cycle keeps it O(1).
-	booked [][]int
-	window int64
-	base   []int64
-
-	// Transfers counts completed bus reservations (the paper's
+// Stats is the per-topology measurement record.
+type Stats struct {
+	// Transfers counts completed reservations (the paper's
 	// "communications").
 	Transfers uint64
-	// Stalls counts reservation attempts that found all buses busy.
+	// Stalls counts reservation attempts denied for bandwidth.
 	Stalls uint64
+	// Hops is the route-length histogram: Hops[h] transfers crossed h
+	// links. Bus and crossbar transfers are always single-hop.
+	Hops []uint64
 }
 
-const defaultWindow = 1024
+// record accounts one completed transfer of the given hop count.
+func (s *Stats) record(hops int) {
+	s.Transfers++
+	for len(s.Hops) <= hops {
+		s.Hops = append(s.Hops, 0)
+	}
+	s.Hops[hops]++
+}
 
-// New builds a Network; it panics on invalid configuration.
-func New(cfg Config) *Network {
+// MeanHops is the average route length over all transfers.
+func (s Stats) MeanHops() float64 {
+	if s.Transfers == 0 {
+		return 0
+	}
+	var sum uint64
+	for h, n := range s.Hops {
+		sum += uint64(h) * n
+	}
+	return float64(sum) / float64(s.Transfers)
+}
+
+// Topology is a pluggable inter-cluster network model. The issue stage
+// reserves a route like any other resource: CanReserve asks whether a
+// transfer from cluster src to cluster dst could launch at the given
+// cycle, and Reserve books it, returning the cycle the value arrives at
+// the destination's register file. Implementations are deterministic and
+// single-threaded, matching the cycle-driven simulator that owns them.
+type Topology interface {
+	// Kind identifies the topology.
+	Kind() Kind
+	// Config returns the network configuration.
+	Config() Config
+	// CanReserve reports whether a transfer src -> dst may launch at the
+	// given cycle, without consuming any resource.
+	CanReserve(src, dst int, cycle int64) bool
+	// Reserve books a transfer src -> dst launching at cycle and returns
+	// the arrival cycle. ok is false when some resource on the route is
+	// busy, in which case the caller must retry later (the issue logic
+	// keeps the copy in its queue) and a stall is counted.
+	Reserve(src, dst int, cycle int64) (arrival int64, ok bool)
+	// Stats returns the accumulated measurements.
+	Stats() Stats
+	// Reset clears reservations and statistics.
+	Reset()
+}
+
+// New builds the topology selected by cfg.Topology; it panics on invalid
+// configuration (construction happens behind config.Validate in any
+// supported path).
+func New(cfg Config) Topology {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	n := &Network{cfg: cfg, window: defaultWindow}
-	n.booked = make([][]int, cfg.Clusters)
-	n.base = make([]int64, cfg.Clusters)
-	for i := range n.booked {
-		n.booked[i] = make([]int, defaultWindow)
+	switch cfg.Topology {
+	case KindRing:
+		return NewRing(cfg)
+	case KindCrossbar:
+		return NewCrossbar(cfg)
+	case KindMesh:
+		return NewMesh(cfg)
+	default:
+		return NewBus(cfg)
 	}
-	return n
-}
-
-// Config returns the network configuration.
-func (n *Network) Config() Config { return n.cfg }
-
-// Unbounded reports whether bandwidth is unlimited.
-func (n *Network) Unbounded() bool { return n.cfg.PathsPerCluster == 0 }
-
-func (n *Network) slot(dst int, cycle int64) *int {
-	// Advance the ring window if the cycle moved past it.
-	for cycle >= n.base[dst]+n.window {
-		idx := n.base[dst] % n.window
-		n.booked[dst][idx] = 0
-		n.base[dst]++
-	}
-	if cycle < n.base[dst] {
-		// Reservation in the already-expired past: treat as a fresh slot.
-		// This cannot happen with a monotonically advancing core clock.
-		return nil
-	}
-	return &n.booked[dst][cycle%n.window]
-}
-
-// CanReserve reports whether a transfer toward cluster dst may launch at
-// the given cycle.
-func (n *Network) CanReserve(dst int, cycle int64) bool {
-	if n.Unbounded() {
-		return true
-	}
-	s := n.slot(dst, cycle)
-	if s == nil {
-		return true
-	}
-	return *s < n.cfg.PathsPerCluster
-}
-
-// Reserve books a launch slot toward dst at cycle and returns the arrival
-// cycle. ok is false when every bus toward dst is busy that cycle, in
-// which case the caller must retry later (the issue logic keeps the copy
-// in its queue).
-func (n *Network) Reserve(dst int, cycle int64) (arrival int64, ok bool) {
-	if !n.CanReserve(dst, cycle) {
-		n.Stalls++
-		return 0, false
-	}
-	if !n.Unbounded() {
-		if s := n.slot(dst, cycle); s != nil {
-			*s++
-		}
-	}
-	n.Transfers++
-	return cycle + int64(n.cfg.Latency), true
-}
-
-// Reset clears reservations and statistics.
-func (n *Network) Reset() {
-	for i := range n.booked {
-		for j := range n.booked[i] {
-			n.booked[i][j] = 0
-		}
-		n.base[i] = 0
-	}
-	n.Transfers = 0
-	n.Stalls = 0
 }

@@ -13,6 +13,10 @@ func TestConfigValidate(t *testing.T) {
 		{Clusters: 0, Latency: 1},
 		{Clusters: 2, PathsPerCluster: -1, Latency: 1},
 		{Clusters: 2, Latency: 0},
+		{Topology: numKinds, Clusters: 2, Latency: 1},
+		{Topology: -1, Clusters: 2, Latency: 1},
+		{Topology: KindMesh, Clusters: 2, Latency: 1},
+		{Topology: KindRing, Clusters: 1, Latency: 1},
 	}
 	for _, c := range bad {
 		if err := c.Validate(); err == nil {
@@ -22,90 +26,107 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestUnboundedNeverStalls(t *testing.T) {
-	n := New(Config{Clusters: 4, PathsPerCluster: 0, Latency: 1})
+	n := NewBus(Config{Clusters: 4, PathsPerCluster: 0, Latency: 1})
 	for i := 0; i < 100; i++ {
-		if _, ok := n.Reserve(2, 10); !ok {
+		if _, ok := n.Reserve(0, 2, 10); !ok {
 			t.Fatal("unbounded network must never stall")
 		}
 	}
-	if n.Transfers != 100 || n.Stalls != 0 {
-		t.Errorf("stats = %d transfers, %d stalls", n.Transfers, n.Stalls)
+	if st := n.Stats(); st.Transfers != 100 || st.Stalls != 0 {
+		t.Errorf("stats = %d transfers, %d stalls", st.Transfers, st.Stalls)
 	}
 }
 
 func TestSinglePathConflict(t *testing.T) {
-	n := New(Config{Clusters: 2, PathsPerCluster: 1, Latency: 1})
-	arr, ok := n.Reserve(1, 5)
+	n := NewBus(Config{Clusters: 2, PathsPerCluster: 1, Latency: 1})
+	arr, ok := n.Reserve(0, 1, 5)
 	if !ok || arr != 6 {
 		t.Fatalf("first reserve = %d,%v", arr, ok)
 	}
-	if _, ok := n.Reserve(1, 5); ok {
+	if _, ok := n.Reserve(0, 1, 5); ok {
 		t.Error("second reserve same cycle same dst must fail")
 	}
 	// Different destination has its own bus.
-	if _, ok := n.Reserve(0, 5); !ok {
+	if _, ok := n.Reserve(1, 0, 5); !ok {
 		t.Error("other destination must be free")
 	}
 	// Next cycle the bus is free again (fully pipelined).
-	if _, ok := n.Reserve(1, 6); !ok {
+	if _, ok := n.Reserve(0, 1, 6); !ok {
 		t.Error("bus must be free on the next cycle")
 	}
-	if n.Stalls != 1 {
-		t.Errorf("stalls = %d, want 1", n.Stalls)
+	if st := n.Stats(); st.Stalls != 1 {
+		t.Errorf("stalls = %d, want 1", st.Stalls)
+	}
+}
+
+func TestBusIgnoresSource(t *testing.T) {
+	// The paper's fabric arbitrates only destination write ports: two
+	// same-cycle transfers from one source to different destinations both
+	// launch, while two from different sources to one destination with a
+	// single path conflict.
+	n := NewBus(Config{Clusters: 4, PathsPerCluster: 1, Latency: 1})
+	if _, ok := n.Reserve(0, 1, 3); !ok {
+		t.Fatal("first launch from source 0")
+	}
+	if _, ok := n.Reserve(0, 2, 3); !ok {
+		t.Error("same source, different destination must not conflict on a bus")
+	}
+	if _, ok := n.Reserve(3, 1, 3); ok {
+		t.Error("different source, same destination must conflict")
 	}
 }
 
 func TestMultiplePaths(t *testing.T) {
-	n := New(Config{Clusters: 4, PathsPerCluster: 2, Latency: 4})
-	if _, ok := n.Reserve(3, 0); !ok {
+	n := NewBus(Config{Clusters: 4, PathsPerCluster: 2, Latency: 4})
+	if _, ok := n.Reserve(0, 3, 0); !ok {
 		t.Fatal("path 1 should reserve")
 	}
-	if _, ok := n.Reserve(3, 0); !ok {
+	if _, ok := n.Reserve(1, 3, 0); !ok {
 		t.Fatal("path 2 should reserve")
 	}
-	if _, ok := n.Reserve(3, 0); ok {
+	if _, ok := n.Reserve(2, 3, 0); ok {
 		t.Fatal("third reserve must fail with 2 paths")
 	}
-	arr, ok := n.Reserve(3, 1)
+	arr, ok := n.Reserve(0, 3, 1)
 	if !ok || arr != 5 {
 		t.Errorf("latency-4 arrival = %d, want 5", arr)
 	}
 }
 
 func TestCanReserveDoesNotBook(t *testing.T) {
-	n := New(Config{Clusters: 2, PathsPerCluster: 1, Latency: 1})
+	n := NewBus(Config{Clusters: 2, PathsPerCluster: 1, Latency: 1})
 	for i := 0; i < 5; i++ {
-		if !n.CanReserve(0, 7) {
+		if !n.CanReserve(1, 0, 7) {
 			t.Fatal("CanReserve must not consume the slot")
 		}
 	}
-	if n.Transfers != 0 {
+	if n.Stats().Transfers != 0 {
 		t.Error("CanReserve must not count transfers")
 	}
 }
 
 func TestWindowAdvance(t *testing.T) {
-	n := New(Config{Clusters: 2, PathsPerCluster: 1, Latency: 1})
-	n.Reserve(0, 3)
+	n := NewBus(Config{Clusters: 2, PathsPerCluster: 1, Latency: 1})
+	n.Reserve(1, 0, 3)
 	// Far in the future: the old booking must have expired and the ring
 	// slot reused cleanly.
-	if _, ok := n.Reserve(0, 3+defaultWindow*2); !ok {
+	if _, ok := n.Reserve(1, 0, 3+defaultWindow*2); !ok {
 		t.Error("slot after window advance must be free")
 	}
-	if _, ok := n.Reserve(0, 3+defaultWindow*2); ok {
+	if _, ok := n.Reserve(1, 0, 3+defaultWindow*2); ok {
 		t.Error("second booking in same future cycle must fail")
 	}
 }
 
 func TestReset(t *testing.T) {
-	n := New(Config{Clusters: 2, PathsPerCluster: 1, Latency: 1})
-	n.Reserve(0, 1)
-	n.Reserve(0, 1)
+	n := NewBus(Config{Clusters: 2, PathsPerCluster: 1, Latency: 1})
+	n.Reserve(1, 0, 1)
+	n.Reserve(1, 0, 1)
 	n.Reset()
-	if n.Transfers != 0 || n.Stalls != 0 {
+	if st := n.Stats(); st.Transfers != 0 || st.Stalls != 0 {
 		t.Error("reset must clear stats")
 	}
-	if _, ok := n.Reserve(0, 1); !ok {
+	if _, ok := n.Reserve(1, 0, 1); !ok {
 		t.Error("reset must clear bookings")
 	}
 }
@@ -123,10 +144,10 @@ func TestNewPanicsOnInvalid(t *testing.T) {
 func TestBandwidthBoundProperty(t *testing.T) {
 	f := func(b uint8, cyc uint16) bool {
 		paths := int(b%4) + 1
-		n := New(Config{Clusters: 2, PathsPerCluster: paths, Latency: 1})
+		n := NewBus(Config{Clusters: 2, PathsPerCluster: paths, Latency: 1})
 		okCount := 0
 		for i := 0; i < 8; i++ {
-			if _, ok := n.Reserve(1, int64(cyc)); ok {
+			if _, ok := n.Reserve(0, 1, int64(cyc)); ok {
 				okCount++
 			}
 		}
@@ -137,12 +158,12 @@ func TestBandwidthBoundProperty(t *testing.T) {
 	}
 }
 
-// Property: arrival is always launch + latency.
+// Property: bus arrival is always launch + latency.
 func TestArrivalLatencyProperty(t *testing.T) {
 	f := func(lat uint8, cyc uint16) bool {
 		l := int(lat%8) + 1
-		n := New(Config{Clusters: 2, PathsPerCluster: 0, Latency: l})
-		arr, ok := n.Reserve(0, int64(cyc))
+		n := NewBus(Config{Clusters: 2, PathsPerCluster: 0, Latency: l})
+		arr, ok := n.Reserve(1, 0, int64(cyc))
 		return ok && arr == int64(cyc)+int64(l)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {

@@ -1,0 +1,78 @@
+package interconnect
+
+// linkSched tracks per-cycle launch reservations on a set of links (or
+// ports). Because every topology here is fully pipelined, the only
+// contended resource is the launch slot of each link in each cycle; the
+// scheduler keeps, per link, how many launches have been booked for each
+// cycle in a sliding ring-buffer window keyed by cycle, which makes both
+// queries and bookings O(1) under a monotonically advancing core clock.
+//
+// A capacity of 0 means unbounded bandwidth: nothing is allocated and
+// every query succeeds.
+type linkSched struct {
+	cap    int
+	window int64
+	// booked[link] maps cycle -> launches booked that cycle.
+	booked [][]int
+	base   []int64
+}
+
+const defaultWindow = 1024
+
+func newLinkSched(links, capacity int) *linkSched {
+	l := &linkSched{cap: capacity, window: defaultWindow}
+	if capacity > 0 {
+		l.booked = make([][]int, links)
+		l.base = make([]int64, links)
+		for i := range l.booked {
+			l.booked[i] = make([]int, defaultWindow)
+		}
+	}
+	return l
+}
+
+func (l *linkSched) unbounded() bool { return l.cap <= 0 }
+
+func (l *linkSched) slot(link int, cycle int64) *int {
+	// Advance the ring window if the cycle moved past it.
+	for cycle >= l.base[link]+l.window {
+		idx := l.base[link] % l.window
+		l.booked[link][idx] = 0
+		l.base[link]++
+	}
+	if cycle < l.base[link] {
+		// Reservation in the already-expired past: treat as a fresh slot.
+		// This cannot happen with a monotonically advancing core clock.
+		return nil
+	}
+	return &l.booked[link][cycle%l.window]
+}
+
+// free reports whether the link has a launch slot left at cycle.
+func (l *linkSched) free(link int, cycle int64) bool {
+	if l.unbounded() {
+		return true
+	}
+	s := l.slot(link, cycle)
+	return s == nil || *s < l.cap
+}
+
+// book consumes one launch slot on the link at cycle.
+func (l *linkSched) book(link int, cycle int64) {
+	if l.unbounded() {
+		return
+	}
+	if s := l.slot(link, cycle); s != nil {
+		*s++
+	}
+}
+
+// reset clears all bookings.
+func (l *linkSched) reset() {
+	for i := range l.booked {
+		for j := range l.booked[i] {
+			l.booked[i][j] = 0
+		}
+		l.base[i] = 0
+	}
+}

@@ -1,0 +1,152 @@
+package interconnect
+
+// Mesh is a 2D mesh for 4+ cluster machines. Clusters are laid out on
+// the most-square W×H grid that tiles the cluster count exactly (4 ->
+// 2×2, 6 -> 3×2, 8 -> 4×2; a prime count degenerates to a 1×N linear
+// array), cluster i sitting at column i mod W, row i / W. Routing is
+// dimension-ordered (X first, then Y), the standard deadlock-free choice
+// for meshes; a transfer crosses the Manhattan distance in links, pays
+// Latency cycles per hop, and reserves a launch slot on every directed
+// link of its route at the cycle it traverses it. PathsPerCluster is the
+// per-link width; 0 means unbounded.
+type Mesh struct {
+	cfg  Config
+	w, h int
+	// links books launch slots per directed link, indexed node*4+dir.
+	links *linkSched
+	stats Stats
+}
+
+var _ Topology = (*Mesh)(nil)
+
+// Directed link directions out of a node.
+const (
+	dirEast = iota
+	dirWest
+	dirSouth
+	dirNorth
+	numDirs
+)
+
+// MeshDims returns the grid shape for n clusters: the most-square W×H
+// factorization with W >= H (prime n yields n×1).
+func MeshDims(n int) (w, h int) {
+	h = 1
+	for (h+1)*(h+1) <= n {
+		h++
+	}
+	for n%h != 0 {
+		h--
+	}
+	return n / h, h
+}
+
+// NewMesh builds a 2D mesh; it panics on invalid configuration
+// (Validate requires >= 4 clusters).
+func NewMesh(cfg Config) *Mesh {
+	cfg.Topology = KindMesh
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	w, h := MeshDims(cfg.Clusters)
+	return &Mesh{
+		cfg:   cfg,
+		w:     w,
+		h:     h,
+		links: newLinkSched(cfg.Clusters*numDirs, cfg.PathsPerCluster),
+	}
+}
+
+// Kind identifies the topology.
+func (m *Mesh) Kind() Kind { return KindMesh }
+
+// Config returns the network configuration.
+func (m *Mesh) Config() Config { return m.cfg }
+
+// Dims returns the mesh grid shape.
+func (m *Mesh) Dims() (w, h int) { return m.w, m.h }
+
+// MeshHops is the dimension-order route length from src to dst on the
+// W×H grid: the Manhattan distance between their coordinates.
+func MeshHops(w, src, dst int) int {
+	dx := dst%w - src%w
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := dst/w - src/w
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// route walks the directed links of the X-then-Y route from src to dst,
+// calling f with each link index and the cycle offset (in hops) at which
+// the transfer traverses it; it stops early and returns false when f
+// does.
+func (m *Mesh) route(src, dst int, f func(link, hop int) bool) bool {
+	x, y := src%m.w, src/m.w
+	dx, dy := dst%m.w, dst/m.w
+	hop := 0
+	for x != dx {
+		dir := dirEast
+		nx := x + 1
+		if dx < x {
+			dir, nx = dirWest, x-1
+		}
+		if !f((y*m.w+x)*numDirs+dir, hop) {
+			return false
+		}
+		x = nx
+		hop++
+	}
+	for y != dy {
+		dir := dirSouth
+		ny := y + 1
+		if dy < y {
+			dir, ny = dirNorth, y-1
+		}
+		if !f((y*m.w+x)*numDirs+dir, hop) {
+			return false
+		}
+		y = ny
+		hop++
+	}
+	return true
+}
+
+// CanReserve reports whether a transfer src -> dst may launch at the
+// given cycle: every link of the dimension-order route must have a free
+// slot at the cycle the transfer would traverse it.
+func (m *Mesh) CanReserve(src, dst int, cycle int64) bool {
+	lat := int64(m.cfg.Latency)
+	return m.route(src, dst, func(link, hop int) bool {
+		return m.links.free(link, cycle+int64(hop)*lat)
+	})
+}
+
+// Reserve books every link of the route and returns the arrival cycle,
+// Manhattan-distance × Latency after launch.
+func (m *Mesh) Reserve(src, dst int, cycle int64) (arrival int64, ok bool) {
+	if !m.CanReserve(src, dst, cycle) {
+		m.stats.Stalls++
+		return 0, false
+	}
+	lat := int64(m.cfg.Latency)
+	m.route(src, dst, func(link, hop int) bool {
+		m.links.book(link, cycle+int64(hop)*lat)
+		return true
+	})
+	h := MeshHops(m.w, src, dst)
+	m.stats.record(h)
+	return cycle + int64(h)*lat, true
+}
+
+// Stats returns the accumulated measurements.
+func (m *Mesh) Stats() Stats { return m.stats }
+
+// Reset clears reservations and statistics.
+func (m *Mesh) Reset() {
+	m.links.reset()
+	m.stats = Stats{}
+}

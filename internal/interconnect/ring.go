@@ -1,0 +1,90 @@
+package interconnect
+
+// Ring is a unidirectional ring: cluster i drives one link toward
+// cluster (i+1) mod N. A transfer from src to dst crosses
+// (dst-src) mod N links, paying Latency cycles per hop, and must find a
+// free launch slot on every link of its route at the cycle it would
+// traverse it (the route is reserved atomically at issue, so a transfer
+// never blocks mid-flight). PathsPerCluster is the per-link width; 0
+// means unbounded.
+type Ring struct {
+	cfg Config
+	// links books launch slots per directed link i -> (i+1) mod N.
+	links *linkSched
+	stats Stats
+}
+
+var _ Topology = (*Ring)(nil)
+
+// NewRing builds a unidirectional ring; it panics on invalid
+// configuration.
+func NewRing(cfg Config) *Ring {
+	cfg.Topology = KindRing
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Ring{cfg: cfg, links: newLinkSched(cfg.Clusters, cfg.PathsPerCluster)}
+}
+
+// Kind identifies the topology.
+func (r *Ring) Kind() Kind { return KindRing }
+
+// Config returns the network configuration.
+func (r *Ring) Config() Config { return r.cfg }
+
+// RingHops is the number of links a transfer crosses on a unidirectional
+// N-cluster ring from src to dst: (dst-src) mod N.
+func RingHops(n, src, dst int) int {
+	return ((dst-src)%n + n) % n
+}
+
+// route walks the links of the src -> dst route, calling f with each
+// link index and the cycle offset (in hops) at which the transfer
+// traverses it; it stops early and returns false when f does.
+func (r *Ring) route(src, dst int, f func(link, hop int) bool) bool {
+	h := RingHops(r.cfg.Clusters, src, dst)
+	for k := 0; k < h; k++ {
+		if !f((src+k)%r.cfg.Clusters, k) {
+			return false
+		}
+	}
+	return true
+}
+
+// CanReserve reports whether a transfer src -> dst may launch at the
+// given cycle: every link on the route must have a free slot at the
+// cycle the transfer would traverse it.
+func (r *Ring) CanReserve(src, dst int, cycle int64) bool {
+	lat := int64(r.cfg.Latency)
+	return r.route(src, dst, func(link, hop int) bool {
+		return r.links.free(link, cycle+int64(hop)*lat)
+	})
+}
+
+// Reserve books every link of the route and returns the arrival cycle,
+// hops × Latency after launch. A transfer between co-located endpoints
+// (src == dst, which the simulator never generates) crosses no link and
+// arrives immediately.
+func (r *Ring) Reserve(src, dst int, cycle int64) (arrival int64, ok bool) {
+	if !r.CanReserve(src, dst, cycle) {
+		r.stats.Stalls++
+		return 0, false
+	}
+	lat := int64(r.cfg.Latency)
+	r.route(src, dst, func(link, hop int) bool {
+		r.links.book(link, cycle+int64(hop)*lat)
+		return true
+	})
+	h := RingHops(r.cfg.Clusters, src, dst)
+	r.stats.record(h)
+	return cycle + int64(h)*lat, true
+}
+
+// Stats returns the accumulated measurements.
+func (r *Ring) Stats() Stats { return r.stats }
+
+// Reset clears reservations and statistics.
+func (r *Ring) Reset() {
+	r.links.reset()
+	r.stats = Stats{}
+}

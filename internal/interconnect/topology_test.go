@@ -1,0 +1,262 @@
+package interconnect
+
+import "testing"
+
+func TestKindRoundTrip(t *testing.T) {
+	names := KindNames()
+	want := []string{"bus", "ring", "crossbar", "mesh"}
+	if len(names) != len(want) {
+		t.Fatalf("KindNames = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("KindNames[%d] = %q, want %q", i, names[i], n)
+		}
+		k, err := ParseKind(n)
+		if err != nil || k != Kind(i) {
+			t.Errorf("ParseKind(%q) = %v, %v", n, k, err)
+		}
+	}
+	if _, err := ParseKind("torus"); err == nil {
+		t.Error("ParseKind must reject unknown names")
+	}
+}
+
+func TestNewDispatch(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		tp := New(Config{Topology: k, Clusters: 4, PathsPerCluster: 1, Latency: 1})
+		if tp.Kind() != k {
+			t.Errorf("New(%v).Kind() = %v", k, tp.Kind())
+		}
+		if tp.Config().Topology != k {
+			t.Errorf("New(%v).Config().Topology = %v", k, tp.Config().Topology)
+		}
+	}
+}
+
+// Ring hop-latency math: hops = (dst-src) mod N, arrival = launch +
+// hops*latency.
+func TestRingHopLatency(t *testing.T) {
+	cases := []struct {
+		n, src, dst int
+		hops        int
+	}{
+		{4, 0, 1, 1},
+		{4, 0, 3, 3},
+		{4, 3, 0, 1},
+		{4, 2, 1, 3},
+		{4, 1, 1, 0},
+		{2, 1, 0, 1},
+		{8, 5, 2, 5},
+	}
+	for _, c := range cases {
+		if h := RingHops(c.n, c.src, c.dst); h != c.hops {
+			t.Errorf("RingHops(%d, %d, %d) = %d, want %d", c.n, c.src, c.dst, h, c.hops)
+		}
+		for _, lat := range []int{1, 2, 4} {
+			r := NewRing(Config{Clusters: c.n, PathsPerCluster: 0, Latency: lat})
+			arr, ok := r.Reserve(c.src, c.dst, 100)
+			if !ok || arr != 100+int64(c.hops*lat) {
+				t.Errorf("ring(%d clusters, lat %d) %d->%d arrival = %d, want %d",
+					c.n, lat, c.src, c.dst, arr, 100+int64(c.hops*lat))
+			}
+			if st := r.Stats(); st.Transfers != 1 || st.Hops[c.hops] != 1 {
+				t.Errorf("ring stats = %+v, want 1 transfer at hop %d", st, c.hops)
+			}
+		}
+	}
+}
+
+// A ring transfer contends for every link on its route: a long route
+// blocks a short one that shares any link in the same traversal cycle.
+func TestRingLinkContention(t *testing.T) {
+	r := NewRing(Config{Clusters: 4, PathsPerCluster: 1, Latency: 1})
+	// 0 -> 2 crosses link 0 at cycle 10 and link 1 at cycle 11.
+	if _, ok := r.Reserve(0, 2, 10); !ok {
+		t.Fatal("first route must reserve")
+	}
+	// 0 -> 1 needs link 0 at cycle 10: busy.
+	if _, ok := r.Reserve(0, 1, 10); ok {
+		t.Error("shared link 0 at cycle 10 must conflict")
+	}
+	// 1 -> 2 needs link 1 at cycle 10: free (the first transfer crosses
+	// link 1 only at cycle 11).
+	if _, ok := r.Reserve(1, 2, 10); !ok {
+		t.Error("link 1 at cycle 10 must be free")
+	}
+	// 1 -> 2 again, launching at 11: link 1 at cycle 11 is held by the
+	// in-flight 0 -> 2 transfer.
+	if _, ok := r.Reserve(1, 2, 11); ok {
+		t.Error("link 1 at cycle 11 must be held by the in-flight transfer")
+	}
+	if st := r.Stats(); st.Stalls != 2 {
+		t.Errorf("stalls = %d, want 2", st.Stalls)
+	}
+}
+
+// A failed multi-link reservation must not leave partial bookings.
+func TestRingFailedReserveLeavesNoBooking(t *testing.T) {
+	r := NewRing(Config{Clusters: 4, PathsPerCluster: 1, Latency: 1})
+	if _, ok := r.Reserve(1, 2, 10); !ok { // holds link 1 at cycle 10
+		t.Fatal("setup reserve")
+	}
+	// 0 -> 2 launching at 9 crosses link 0 at cycle 9 (free) and link 1
+	// at cycle 10 (busy): the reservation fails as a whole.
+	if _, ok := r.Reserve(0, 2, 9); ok {
+		t.Fatal("route over busy link must fail")
+	}
+	// Link 0 at cycle 9 must still be free for a direct transfer.
+	if _, ok := r.Reserve(0, 1, 9); !ok {
+		t.Error("failed reservation must not book earlier links of its route")
+	}
+}
+
+// Crossbar port contention: the source output port and destination input
+// port each admit PathsPerCluster launches per cycle.
+func TestCrossbarPortContention(t *testing.T) {
+	x := NewCrossbar(Config{Clusters: 4, PathsPerCluster: 1, Latency: 2})
+	arr, ok := x.Reserve(0, 1, 5)
+	if !ok || arr != 7 {
+		t.Fatalf("first reserve = %d,%v, want 7,true", arr, ok)
+	}
+	// Same source, different destination: output port 0 is taken.
+	if _, ok := x.Reserve(0, 2, 5); ok {
+		t.Error("source output port must arbitrate")
+	}
+	// Different source, same destination: input port 1 is taken.
+	if _, ok := x.Reserve(2, 1, 5); ok {
+		t.Error("destination input port must arbitrate")
+	}
+	// Disjoint ports: fine.
+	if _, ok := x.Reserve(2, 3, 5); !ok {
+		t.Error("disjoint port pair must not conflict")
+	}
+	// Next cycle both ports are free again.
+	if _, ok := x.Reserve(0, 1, 6); !ok {
+		t.Error("ports must be free next cycle")
+	}
+	if st := x.Stats(); st.Stalls != 2 || st.Transfers != 3 {
+		t.Errorf("stats = %+v, want 2 stalls, 3 transfers", st)
+	}
+}
+
+// A denied crossbar reservation must not book the free half of the port
+// pair.
+func TestCrossbarFailedReserveLeavesNoBooking(t *testing.T) {
+	x := NewCrossbar(Config{Clusters: 4, PathsPerCluster: 1, Latency: 1})
+	x.Reserve(0, 1, 5)
+	if _, ok := x.Reserve(2, 1, 5); ok { // input port 1 busy
+		t.Fatal("expected input-port conflict")
+	}
+	// Output port 2 must still be free.
+	if _, ok := x.Reserve(2, 3, 5); !ok {
+		t.Error("failed reservation must not book the output port")
+	}
+}
+
+func TestMeshDims(t *testing.T) {
+	cases := []struct{ n, w, h int }{
+		{4, 2, 2}, {6, 3, 2}, {8, 4, 2}, {9, 3, 3}, {12, 4, 3}, {16, 4, 4},
+		{5, 5, 1}, {7, 7, 1},
+	}
+	for _, c := range cases {
+		w, h := MeshDims(c.n)
+		if w != c.w || h != c.h {
+			t.Errorf("MeshDims(%d) = %dx%d, want %dx%d", c.n, w, h, c.w, c.h)
+		}
+	}
+}
+
+// Mesh hop-latency math: hops = Manhattan distance on the grid, arrival
+// = launch + hops*latency.
+func TestMeshHopLatency(t *testing.T) {
+	// 2x2 grid: 0 1 / 2 3.
+	cases := []struct {
+		n, src, dst, hops int
+	}{
+		{4, 0, 1, 1},
+		{4, 0, 3, 2},
+		{4, 3, 0, 2},
+		{4, 1, 2, 2},
+		{4, 2, 3, 1},
+		// 3x2 grid: 0 1 2 / 3 4 5.
+		{6, 0, 5, 3},
+		{6, 3, 2, 3},
+		{6, 4, 1, 1},
+	}
+	for _, c := range cases {
+		w, _ := MeshDims(c.n)
+		if h := MeshHops(w, c.src, c.dst); h != c.hops {
+			t.Errorf("MeshHops(w=%d, %d, %d) = %d, want %d", w, c.src, c.dst, h, c.hops)
+		}
+		for _, lat := range []int{1, 3} {
+			m := NewMesh(Config{Clusters: c.n, PathsPerCluster: 0, Latency: lat})
+			arr, ok := m.Reserve(c.src, c.dst, 50)
+			if !ok || arr != 50+int64(c.hops*lat) {
+				t.Errorf("mesh(%d clusters, lat %d) %d->%d arrival = %d, want %d",
+					c.n, lat, c.src, c.dst, arr, 50+int64(c.hops*lat))
+			}
+		}
+	}
+}
+
+// Mesh X-then-Y routes contend on shared directed links and dodge
+// disjoint ones; opposite directions of one edge are independent links.
+func TestMeshLinkContention(t *testing.T) {
+	// 2x2 grid: 0 1 / 2 3. Route 0->3 is east (0->1) then south (1->3).
+	m := NewMesh(Config{Clusters: 4, PathsPerCluster: 1, Latency: 1})
+	if _, ok := m.Reserve(0, 3, 10); !ok {
+		t.Fatal("first route must reserve")
+	}
+	// 0 -> 1 shares the east link out of node 0 at cycle 10.
+	if _, ok := m.Reserve(0, 1, 10); ok {
+		t.Error("shared east link must conflict")
+	}
+	// 1 -> 0 uses the west link out of node 1: independent direction.
+	if _, ok := m.Reserve(1, 0, 10); !ok {
+		t.Error("opposite direction must be an independent link")
+	}
+	// 1 -> 3 launching at 11 needs the south link out of node 1 at cycle
+	// 11, held by the in-flight 0->3 transfer.
+	if _, ok := m.Reserve(1, 3, 11); ok {
+		t.Error("south link at cycle 11 must be held")
+	}
+	if st := m.Stats(); st.Stalls != 2 || st.Transfers != 2 {
+		t.Errorf("stats = %+v, want 2 stalls, 2 transfers", st)
+	}
+}
+
+func TestStatsMeanHops(t *testing.T) {
+	var s Stats
+	s.record(1)
+	s.record(3)
+	s.record(3)
+	if s.Transfers != 3 || s.Hops[1] != 1 || s.Hops[3] != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if mh := s.MeanHops(); mh < 2.33 || mh > 2.34 {
+		t.Errorf("MeanHops = %f, want 7/3", mh)
+	}
+	if (Stats{}).MeanHops() != 0 {
+		t.Error("empty stats MeanHops must be 0")
+	}
+}
+
+// Unbounded ring and mesh never stall regardless of route overlap.
+func TestUnboundedTopologiesNeverStall(t *testing.T) {
+	tops := []Topology{
+		NewRing(Config{Clusters: 4, Latency: 1}),
+		NewMesh(Config{Clusters: 4, Latency: 1}),
+		NewCrossbar(Config{Clusters: 4, Latency: 1}),
+	}
+	for _, tp := range tops {
+		for i := 0; i < 50; i++ {
+			if _, ok := tp.Reserve(0, 3, 5); !ok {
+				t.Errorf("%v: unbounded reservation must succeed", tp.Kind())
+			}
+		}
+		if st := tp.Stats(); st.Stalls != 0 || st.Transfers != 50 {
+			t.Errorf("%v stats = %+v", tp.Kind(), st)
+		}
+	}
+}

@@ -1,7 +1,8 @@
-// Grid export: flatten engine results into JSON or CSV so downstream
-// tooling and CI benchmarks can consume runs without scraping the
-// aligned text tables cmd/experiments prints.
 package runner
+
+// This file is the grid exporter: it flattens engine results into JSON
+// or CSV so downstream tooling and CI benchmarks can consume runs
+// without scraping the aligned text tables cmd/experiments prints.
 
 import (
 	"encoding/csv"
@@ -26,11 +27,13 @@ type Record struct {
 	Steering string `json:"steering"`
 	CommLat  int    `json:"comm_latency"`
 	CommBW   int    `json:"comm_paths"`
+	Topology string `json:"topology"`
 	VPTable  int    `json:"vp_table_entries"`
 
 	Cycles       int64  `json:"cycles"`
 	Instructions uint64 `json:"instructions"`
 	BusTransfers uint64 `json:"bus_transfers"`
+	BusStalls    uint64 `json:"bus_stalls"`
 	Reissues     uint64 `json:"reissues"`
 
 	stats.Derived
@@ -50,6 +53,7 @@ func ToRecord(r Result) Record {
 		Steering: c.Steering.String(),
 		CommLat:  c.CommLatency,
 		CommBW:   c.CommPaths,
+		Topology: c.Topology.String(),
 		VPTable:  c.VPTableEntries,
 	}
 	if r.Err != nil {
@@ -59,6 +63,7 @@ func ToRecord(r Result) Record {
 	rec.Cycles = r.Res.Cycles
 	rec.Instructions = r.Res.Instructions
 	rec.BusTransfers = r.Res.BusTransfers
+	rec.BusStalls = r.Res.BusStalls
 	rec.Reissues = r.Res.Reissues
 	rec.Derived = r.Res.Derived()
 	return rec
@@ -83,9 +88,9 @@ func WriteJSON(w io.Writer, rs []Result) error {
 // csvHeader matches csvRow field for field.
 var csvHeader = []string{
 	"config", "kernel", "scale", "clusters", "vp", "steering",
-	"comm_latency", "comm_paths", "vp_table_entries",
-	"cycles", "instructions", "bus_transfers", "reissues",
-	"ipc", "comm_per_instr", "imbalance", "branch_accuracy",
+	"comm_latency", "comm_paths", "topology", "vp_table_entries",
+	"cycles", "instructions", "bus_transfers", "bus_stalls", "reissues",
+	"ipc", "comm_per_instr", "imbalance", "mean_hops", "branch_accuracy",
 	"vp_hit_ratio", "vp_confident_fraction", "error",
 }
 
@@ -93,10 +98,11 @@ func csvRow(r Record) []string {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
 	return []string{
 		r.Config, r.Kernel, strconv.Itoa(r.Scale), strconv.Itoa(r.Clusters), r.VP, r.Steering,
-		strconv.Itoa(r.CommLat), strconv.Itoa(r.CommBW), strconv.Itoa(r.VPTable),
+		strconv.Itoa(r.CommLat), strconv.Itoa(r.CommBW), r.Topology, strconv.Itoa(r.VPTable),
 		strconv.FormatInt(r.Cycles, 10), strconv.FormatUint(r.Instructions, 10),
-		strconv.FormatUint(r.BusTransfers, 10), strconv.FormatUint(r.Reissues, 10),
-		f(r.IPC), f(r.CommPerInstr), f(r.Imbalance), f(r.BranchAccuracy),
+		strconv.FormatUint(r.BusTransfers, 10), strconv.FormatUint(r.BusStalls, 10),
+		strconv.FormatUint(r.Reissues, 10),
+		f(r.IPC), f(r.CommPerInstr), f(r.Imbalance), f(r.MeanHops), f(r.BranchAccuracy),
 		f(r.VPHitRatio), f(r.VPConfidentFraction), r.Err,
 	}
 }

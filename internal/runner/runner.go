@@ -20,6 +20,7 @@ import (
 
 	"clustervp/internal/config"
 	"clustervp/internal/core"
+	"clustervp/internal/interconnect"
 	"clustervp/internal/stats"
 	"clustervp/internal/workload"
 )
@@ -62,10 +63,16 @@ func displayName(c config.Config) string {
 	return fmt.Sprintf("%dcluster", c.Clusters)
 }
 
-// String identifies the job in progress lines and errors.
+// String identifies the job in progress lines and errors. The topology
+// is spelled out only when it departs from the paper's default bus
+// fabric, keeping the common progress lines compact.
 func (j Job) String() string {
-	return fmt.Sprintf("%s/%s(vp=%s,steer=%s)@%d",
-		displayName(j.Config), j.Kernel, j.Config.VP, j.Config.Steering, j.EffectiveScale())
+	topo := ""
+	if j.Config.Topology != interconnect.KindBus {
+		topo = ",topo=" + j.Config.Topology.String()
+	}
+	return fmt.Sprintf("%s/%s(vp=%s,steer=%s%s)@%d",
+		displayName(j.Config), j.Kernel, j.Config.VP, j.Config.Steering, topo, j.EffectiveScale())
 }
 
 // Result pairs a job with its outcome.

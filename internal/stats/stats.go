@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"clustervp/internal/interconnect"
 	"clustervp/internal/vpred"
 )
 
@@ -29,8 +30,15 @@ type Results struct {
 	Copies       uint64
 	VerifyCopies uint64
 	BusTransfers uint64
-	// BusStalls counts issue attempts blocked on bus bandwidth.
+	// BusStalls counts issue attempts blocked on interconnect bandwidth.
 	BusStalls uint64
+	// Topology names the interconnect model the run used ("bus", "ring",
+	// "crossbar", "mesh"); aggregates over mixed topologies report
+	// "mixed".
+	Topology string
+	// HopHistogram[h] counts inter-cluster transfers whose route crossed
+	// h links; the paper's bus fabric is always single-hop.
+	HopHistogram []uint64
 
 	// Reissues counts selective-reissue events (value misspeculation
 	// recovery, §2.2).
@@ -84,6 +92,12 @@ func (r Results) Imbalance() float64 {
 	return float64(r.NReadySum) / float64(r.Cycles)
 }
 
+// MeanHops is the average links crossed per inter-cluster transfer
+// (1 by construction on bus and crossbar fabrics).
+func (r Results) MeanHops() float64 {
+	return interconnect.Stats{Transfers: r.BusTransfers, Hops: r.HopHistogram}.MeanHops()
+}
+
 // BranchAccuracy is the control-flow prediction hit rate.
 func (r Results) BranchAccuracy() float64 {
 	if r.BranchSeen == 0 {
@@ -98,6 +112,7 @@ type Derived struct {
 	IPC                 float64 `json:"ipc"`
 	CommPerInstr        float64 `json:"comm_per_instr"`
 	Imbalance           float64 `json:"imbalance"`
+	MeanHops            float64 `json:"mean_hops"`
 	BranchAccuracy      float64 `json:"branch_accuracy"`
 	VPHitRatio          float64 `json:"vp_hit_ratio"`
 	VPConfidentFraction float64 `json:"vp_confident_fraction"`
@@ -109,6 +124,7 @@ func (r Results) Derived() Derived {
 		IPC:                 r.IPC(),
 		CommPerInstr:        r.CommPerInstr(),
 		Imbalance:           r.Imbalance(),
+		MeanHops:            r.MeanHops(),
 		BranchAccuracy:      r.BranchAccuracy(),
 		VPHitRatio:          r.VP.HitRatio(),
 		VPConfidentFraction: r.VP.ConfidentFraction(),
@@ -138,7 +154,19 @@ func IPCR(clustered, centralized Results) float64 {
 // "average"), and the event counters are summed.
 func Aggregate(name string, rs []Results) Results {
 	agg := Results{Config: name, Benchmark: "suite"}
-	for _, r := range rs {
+	for i, r := range rs {
+		switch {
+		case i == 0:
+			agg.Topology = r.Topology
+		case agg.Topology != r.Topology:
+			agg.Topology = "mixed"
+		}
+		for h, n := range r.HopHistogram {
+			for len(agg.HopHistogram) <= h {
+				agg.HopHistogram = append(agg.HopHistogram, 0)
+			}
+			agg.HopHistogram[h] += n
+		}
 		agg.Cycles += r.Cycles
 		agg.Instructions += r.Instructions
 		agg.Copies += r.Copies
