@@ -11,6 +11,7 @@
 package clustervp_test
 
 import (
+	"path/filepath"
 	"testing"
 
 	"clustervp"
@@ -216,6 +217,47 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	var insts uint64
 	for i := 0; i < b.N; i++ {
 		r, err := clustervp.Run(cfg, "gsmenc", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += r.Instructions
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "sim-instrs/s")
+}
+
+// BenchmarkCalibration is a fixed pure-integer workload used by the CI
+// perf gate as a machine-speed probe: cmd/benchexport divides every
+// ns/op by this benchmark's ns/op on the same machine before comparing
+// against the checked-in baseline, so the gate measures the simulator's
+// shape rather than the runner's absolute speed.
+func BenchmarkCalibration(b *testing.B) {
+	var acc uint64 = 0x9E3779B97F4A7C15
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 1024; j++ {
+			acc ^= acc << 13
+			acc ^= acc >> 7
+			acc ^= acc << 17
+		}
+	}
+	if acc == 0 {
+		b.Fatal("unreachable; defeats dead-code elimination")
+	}
+}
+
+// BenchmarkTraceReplayThroughput measures simulated instructions per
+// wall second when the stream comes from a .cvt file instead of the
+// in-process functional executor — the trace subsystem's headline
+// number, directly comparable to BenchmarkSimulatorThroughput.
+func BenchmarkTraceReplayThroughput(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "gsmenc.cvt")
+	if _, err := clustervp.WriteKernelTrace(path, "gsmenc", 1, 0); err != nil {
+		b.Fatal(err)
+	}
+	cfg := clustervp.Preset(1)
+	var insts uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := clustervp.RunTraceFile(cfg, path)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -29,6 +29,7 @@ import (
 	"clustervp/internal/program"
 	"clustervp/internal/runner"
 	"clustervp/internal/stats"
+	"clustervp/internal/trace"
 	"clustervp/internal/workload"
 )
 
@@ -124,14 +125,50 @@ func KernelInfos() []KernelInfo {
 // BuildKernel assembles a suite kernel at the given scale (exposed for
 // custom experiments and the trace tools).
 func BuildKernel(name string, scale int) (*program.Program, error) {
-	k, err := workload.ByName(name)
+	return workload.Build(name, scale, 0)
+}
+
+// BuildKernelSeeded assembles a suite kernel with its pseudo-random
+// input streams re-seeded (seed 0 selects the canonical inputs every
+// published figure uses).
+func BuildKernelSeeded(name string, scale int, seed uint64) (*program.Program, error) {
+	return workload.Build(name, scale, seed)
+}
+
+// WriteKernelTrace functionally executes a kernel and streams its
+// dynamic instruction trace into a .cvt file at path, returning the
+// number of records written. The file replays through RunTraceFile,
+// clustersim -trace-in, or a grid Job's Trace field, producing results
+// bit-identical to in-process synthesis.
+func WriteKernelTrace(path, kernel string, scale int, seed uint64) (uint64, error) {
+	prog, err := workload.Build(kernel, scale, seed)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	if scale < 1 {
-		scale = 1
+	return trace.WriteFile(path, prog.Name, prog.Code, trace.NewExecutor(prog))
+}
+
+// RunTraceFile simulates a pre-recorded .cvt trace under cfg, streaming
+// it from disk — the trace never needs to fit in memory.
+func RunTraceFile(cfg Config, path string) (Results, error) {
+	fr, err := trace.OpenFile(path)
+	if err != nil {
+		return Results{}, err
 	}
-	return k.Build(scale), nil
+	defer fr.Close()
+	sim, err := core.NewFromSource(cfg, fr, fr.Name())
+	if err != nil {
+		return Results{}, err
+	}
+	return sim.Run()
+}
+
+// MaterializeTraces writes each distinct workload among the jobs to a
+// shared .cvt file under dir (once per workload, reusing existing
+// files) and returns the jobs rewritten to replay those traces; see
+// the runner package for the exact naming scheme.
+func MaterializeTraces(dir string, jobs []Job) ([]Job, error) {
+	return runner.MaterializeTraces(dir, jobs)
 }
 
 // Run simulates one suite kernel under cfg at the given workload scale

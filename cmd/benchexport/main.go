@@ -1,0 +1,96 @@
+// Command benchexport turns `go test -bench` output into the committed
+// BENCH_*.json format and gates CI on performance regressions against a
+// checked-in baseline.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime=100x -count=3 ./... | \
+//	    benchexport -out BENCH_pr3.json -baseline BENCH_baseline.json -tolerance 0.2
+//
+// Repeated -count runs are merged (best ns/op, worst allocs/op). With
+// -baseline, any benchmark whose ns/op regresses by more than
+// -tolerance exits 1 and lists the offenders; -calibrate divides both
+// sides by a named probe benchmark first, cancelling absolute machine
+// speed so the gate compares shapes, not hardware.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"clustervp/internal/runner"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchexport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "bench output file (default: stdin)")
+	out := fs.String("out", "", "write merged results as JSON to this file")
+	baseline := fs.String("baseline", "", "compare against this BENCH_*.json and fail on regression")
+	tolerance := fs.Float64("tolerance", 0.2, "allowed ns/op regression fraction (0.2 = 20%)")
+	calibrate := fs.String("calibrate", "", "benchmark name used to normalize machine speed before comparing")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		defer f.Close()
+		src = f
+	}
+	recs, err := runner.ParseBench(src)
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	if len(recs) == 0 {
+		fmt.Fprintln(stderr, "error: no benchmark results found in input")
+		return 1
+	}
+	fmt.Fprintf(stdout, "parsed %d benchmarks\n", len(recs))
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		werr := runner.WriteBenchJSON(f, recs)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "error:", werr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *out)
+	}
+
+	if *baseline != "" {
+		base, err := runner.ReadBenchJSONFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		if regs := runner.CompareBench(base, recs, *tolerance, *calibrate); len(regs) > 0 {
+			fmt.Fprintf(stderr, "performance regressions against %s:\n", *baseline)
+			for _, r := range regs {
+				fmt.Fprintln(stderr, "  "+r)
+			}
+			return 1
+		}
+		fmt.Fprintf(stdout, "no ns/op regression beyond %.0f%% against %s\n", *tolerance*100, *baseline)
+	}
+	return 0
+}

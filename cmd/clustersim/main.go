@@ -12,65 +12,86 @@
 //	clustersim -kernel cjpeg -clusters 4 -vp stride -steer vpb
 //	clustersim -kernel mpeg2enc -clusters 4 -commlat 4        # slow wires
 //	clustersim -kernel cjpeg -clusters 4 -topology mesh -paths 1
+//	clustersim -trace-in cjpeg.cvt -clusters 4 -vp stride     # replay a .cvt
+//	clustersim -kernel cjpeg -trace-out cjpeg.cvt             # record while simulating
 //
 // Unknown enum values (-vp, -steer, -topology) and unsupported -clusters
 // counts exit with status 2 and a message listing the valid choices.
+// Simulation failures — including corrupt or truncated trace files and
+// exceeded -maxcycles budgets — print the error to stderr and exit 1.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"clustervp"
+	"clustervp/internal/core"
+	"clustervp/internal/trace"
 )
 
-// fail prints the message and the flag usage, then exits with status 2
-// (the flag package's own exit code for bad command lines).
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	flag.Usage()
-	os.Exit(2)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func main() {
-	kernel := flag.String("kernel", "gsmdec", "benchmark kernel (see -list)")
-	list := flag.Bool("list", false, "list available kernels and exit")
-	clusters := flag.Int("clusters", 4, "number of clusters (1, 2 or 4)")
-	vp := flag.String("vp", "none", "value predictor: "+strings.Join(clustervp.VPs(), ", "))
-	steerKind := flag.String("steer", "baseline", "steering: "+strings.Join(clustervp.Steerings(), ", "))
-	topology := flag.String("topology", "bus", "interconnect topology: "+strings.Join(clustervp.Topologies(), ", "))
-	commlat := flag.Int("commlat", 1, "inter-cluster communication latency per hop (cycles)")
-	paths := flag.Int("paths", 0, "inter-cluster paths per cluster/link (0 = unbounded)")
-	vptable := flag.Int("vptable", 128*1024, "value prediction table entries")
-	rename := flag.Int("rename", 1, "rename/steer stage depth in cycles")
-	scale := flag.Int("scale", 1, "workload scale factor")
-	asJSON := flag.Bool("json", false, "emit the result as a single JSON object instead of text")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("clustersim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kernel := fs.String("kernel", "gsmdec", "benchmark kernel (see -list)")
+	list := fs.Bool("list", false, "list available kernels and exit")
+	clusters := fs.Int("clusters", 4, "number of clusters (1, 2 or 4)")
+	vp := fs.String("vp", "none", "value predictor: "+strings.Join(clustervp.VPs(), ", "))
+	steerKind := fs.String("steer", "baseline", "steering: "+strings.Join(clustervp.Steerings(), ", "))
+	topology := fs.String("topology", "bus", "interconnect topology: "+strings.Join(clustervp.Topologies(), ", "))
+	commlat := fs.Int("commlat", 1, "inter-cluster communication latency per hop (cycles)")
+	paths := fs.Int("paths", 0, "inter-cluster paths per cluster/link (0 = unbounded)")
+	vptable := fs.Int("vptable", 128*1024, "value prediction table entries")
+	rename := fs.Int("rename", 1, "rename/steer stage depth in cycles")
+	scale := fs.Int("scale", 1, "workload scale factor")
+	seed := fs.Uint64("seed", 0, "re-seed the kernel's input data (0 = canonical)")
+	maxCycles := fs.Int64("maxcycles", 0, "abort the simulation after this many cycles (0 = default budget)")
+	traceIn := fs.String("trace-in", "", "replay this .cvt trace instead of synthesizing -kernel")
+	traceOut := fs.String("trace-out", "", "record the simulated instruction stream into this .cvt file")
+	asJSON := fs.Bool("json", false, "emit the result as a single JSON object instead of text")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// fail: bad command line, exit 2 (the flag package's own code).
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, format+"\n", a...)
+		fs.Usage()
+		return 2
+	}
 
 	if *list {
 		for _, k := range clustervp.KernelInfos() {
-			fmt.Printf("%-12s %-12s %s\n", k.Name, k.Category, k.Description)
+			fmt.Fprintf(stdout, "%-12s %-12s %s\n", k.Name, k.Category, k.Description)
 		}
-		return
+		return 0
 	}
 
 	if *clusters != 1 && *clusters != 2 && *clusters != 4 {
-		fail("unsupported -clusters %d (valid: 1, 2, 4)", *clusters)
+		return fail("unsupported -clusters %d (valid: 1, 2, 4)", *clusters)
 	}
 	vpKind, err := clustervp.ParseVP(strings.ToLower(*vp))
 	if err != nil {
-		fail("invalid -vp: %v", err)
+		return fail("invalid -vp: %v", err)
 	}
 	steering, err := clustervp.ParseSteering(strings.ToLower(*steerKind))
 	if err != nil {
-		fail("invalid -steer: %v", err)
+		return fail("invalid -steer: %v", err)
 	}
 	topo, err := clustervp.ParseTopology(strings.ToLower(*topology))
 	if err != nil {
-		fail("invalid -topology: %v", err)
+		return fail("invalid -topology: %v", err)
+	}
+	if *traceIn != "" && *traceOut != "" {
+		return fail("-trace-in and -trace-out are mutually exclusive")
 	}
 
 	cfg := clustervp.Preset(*clusters).
@@ -80,42 +101,87 @@ func main() {
 		WithSteering(steering).
 		WithTopology(topo)
 	cfg.RenameCycles = *rename
+	cfg.MaxCycles = *maxCycles
 
-	r, err := clustervp.Run(cfg, *kernel, *scale)
+	// sim error: valid command line but the run failed (corrupt trace,
+	// cycle budget, watchdog) — report on stderr, exit 1.
+	r, err := simulate(cfg, *kernel, *scale, *seed, *traceIn, *traceOut)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
 	}
 
 	if *asJSON {
-		job := clustervp.Job{Config: cfg, Kernel: *kernel, Scale: *scale}
-		enc := json.NewEncoder(os.Stdout)
+		job := clustervp.Job{Config: cfg, Kernel: r.Benchmark, Scale: *scale, Seed: *seed, Trace: *traceIn}
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(clustervp.ToRecord(clustervp.JobResult{Job: job, Res: r})); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
-	fmt.Printf("benchmark            %s\n", r.Benchmark)
-	fmt.Printf("configuration        %s (vp=%s steer=%s topology=%s commlat=%d paths=%d)\n",
+	fmt.Fprintf(stdout, "benchmark            %s\n", r.Benchmark)
+	fmt.Fprintf(stdout, "configuration        %s (vp=%s steer=%s topology=%s commlat=%d paths=%d)\n",
 		cfg.Name, vpKind, steering, topo, *commlat, *paths)
-	fmt.Printf("cycles               %d\n", r.Cycles)
-	fmt.Printf("instructions         %d\n", r.Instructions)
-	fmt.Printf("IPC                  %.4f\n", r.IPC())
-	fmt.Printf("copies               %d\n", r.Copies)
-	fmt.Printf("verification-copies  %d\n", r.VerifyCopies)
-	fmt.Printf("transfers            %d (%.4f per instruction, %.2f mean hops)\n",
+	fmt.Fprintf(stdout, "cycles               %d\n", r.Cycles)
+	fmt.Fprintf(stdout, "instructions         %d\n", r.Instructions)
+	fmt.Fprintf(stdout, "IPC                  %.4f\n", r.IPC())
+	fmt.Fprintf(stdout, "copies               %d\n", r.Copies)
+	fmt.Fprintf(stdout, "verification-copies  %d\n", r.VerifyCopies)
+	fmt.Fprintf(stdout, "transfers            %d (%.4f per instruction, %.2f mean hops)\n",
 		r.BusTransfers, r.CommPerInstr(), r.MeanHops())
-	fmt.Printf("transfer stalls      %d\n", r.BusStalls)
-	fmt.Printf("workload imbalance   %.4f (NREADY per cycle)\n", r.Imbalance())
-	fmt.Printf("reissues             %d\n", r.Reissues)
-	fmt.Printf("predicted operands   %d used, %d wrong\n", r.PredictedOperandsUsed, r.PredictedOperandsWrong)
-	fmt.Printf("VP lookups           %d (%.1f%% confident, hit ratio %.3f)\n",
+	fmt.Fprintf(stdout, "transfer stalls      %d\n", r.BusStalls)
+	fmt.Fprintf(stdout, "workload imbalance   %.4f (NREADY per cycle)\n", r.Imbalance())
+	fmt.Fprintf(stdout, "reissues             %d\n", r.Reissues)
+	fmt.Fprintf(stdout, "predicted operands   %d used, %d wrong\n", r.PredictedOperandsUsed, r.PredictedOperandsWrong)
+	fmt.Fprintf(stdout, "VP lookups           %d (%.1f%% confident, hit ratio %.3f)\n",
 		r.VP.Lookups, 100*r.VP.ConfidentFraction(), r.VP.HitRatio())
-	fmt.Printf("branch accuracy      %.4f (%d seen)\n", r.BranchAccuracy(), r.BranchSeen)
-	fmt.Printf("cache misses         L1I=%d L1D=%d L2=%d\n", r.L1IMisses, r.L1DMisses, r.L2Misses)
-	fmt.Printf("dispatch stalls      rob=%d iq=%d regs=%d\n",
+	fmt.Fprintf(stdout, "branch accuracy      %.4f (%d seen)\n", r.BranchAccuracy(), r.BranchSeen)
+	fmt.Fprintf(stdout, "cache misses         L1I=%d L1D=%d L2=%d\n", r.L1IMisses, r.L1DMisses, r.L2Misses)
+	fmt.Fprintf(stdout, "dispatch stalls      rob=%d iq=%d regs=%d\n",
 		r.DispatchStallROB, r.DispatchStallIQ, r.DispatchStallRegs)
+	return 0
+}
+
+// simulate routes the three instruction-stream modes: replay a .cvt
+// file, record one while simulating, or plain in-process synthesis.
+func simulate(cfg clustervp.Config, kernel string, scale int, seed uint64, traceIn, traceOut string) (clustervp.Results, error) {
+	switch {
+	case traceIn != "":
+		return clustervp.RunTraceFile(cfg, traceIn)
+	case traceOut != "":
+		return recordAndRun(cfg, kernel, scale, seed, traceOut)
+	default:
+		prog, err := clustervp.BuildKernelSeeded(kernel, scale, seed)
+		if err != nil {
+			return clustervp.Results{}, err
+		}
+		return clustervp.RunProgram(cfg, prog)
+	}
+}
+
+// recordAndRun simulates the kernel while teeing the consumed
+// instruction stream into a .cvt file; trace.FileWriter provides the
+// atomic write, so a failed run leaves no partial trace.
+func recordAndRun(cfg clustervp.Config, kernel string, scale int, seed uint64, out string) (clustervp.Results, error) {
+	prog, err := clustervp.BuildKernelSeeded(kernel, scale, seed)
+	if err != nil {
+		return clustervp.Results{}, err
+	}
+	fw, err := trace.CreateFile(out, prog.Name, prog.Code)
+	if err != nil {
+		return clustervp.Results{}, err
+	}
+	defer fw.Abort()
+	sim, err := core.NewFromSource(cfg, trace.Tee(trace.NewExecutor(prog), fw.Writer), prog.Name)
+	if err != nil {
+		return clustervp.Results{}, err
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return res, err
+	}
+	return res, fw.Commit()
 }

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clustervp/internal/runner"
+)
+
+// cli runs the command in-process and captures its streams and exit
+// code, so the exit-status contract is tested without spawning builds.
+func cli(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestSimulationErrorExitsNonZero is the regression test for the exit
+// code fix: a valid workload whose simulation fails mid-run (here: an
+// exhausted cycle budget) must exit 1 with the error on stderr, not 0.
+func TestSimulationErrorExitsNonZero(t *testing.T) {
+	code, _, stderr := cli(t, "-kernel", "cjpeg", "-maxcycles", "10")
+	if code != 1 {
+		t.Fatalf("mid-run simulation error exited %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "error:") || !strings.Contains(stderr, "exceeded") {
+		t.Errorf("stderr does not describe the failure: %q", stderr)
+	}
+}
+
+// TestCorruptTraceExitsNonZero drives the same contract through the
+// trace-replay path: a truncated .cvt file fails mid-run with exit 1.
+func TestCorruptTraceExitsNonZero(t *testing.T) {
+	dir := t.TempDir()
+	path := runner.TracePath(dir, "rawcaudio", 1, 0)
+	if _, err := runner.MaterializeTraces(dir, []runner.Job{{Kernel: "rawcaudio", Scale: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.cvt")
+	if err := os.WriteFile(trunc, data[:len(data)*2/3], 0o666); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := cli(t, "-trace-in", trunc, "-clusters", "2")
+	if code != 1 {
+		t.Fatalf("corrupt trace replay exited %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "trace") {
+		t.Errorf("stderr does not mention the trace failure: %q", stderr)
+	}
+}
+
+// TestBadEnumsExitTwo pins the command-line error code.
+func TestBadEnumsExitTwo(t *testing.T) {
+	for _, args := range [][]string{
+		{"-vp", "psychic"},
+		{"-steer", "sideways"},
+		{"-topology", "donut"},
+		{"-clusters", "3"},
+		{"-trace-in", "a.cvt", "-trace-out", "b.cvt"},
+	} {
+		if code, _, _ := cli(t, args...); code != 2 {
+			t.Errorf("%v exited %d, want 2", args, code)
+		}
+	}
+}
+
+// TestTraceOutThenInIdenticalCounters records a trace while simulating,
+// replays it, and requires every exported counter to match — the CLI
+// half of the bit-for-bit replay guarantee.
+func TestTraceOutThenInIdenticalCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two real simulations in -short mode")
+	}
+	dir := t.TempDir()
+	cvt := filepath.Join(dir, "gsmdec.cvt")
+	common := []string{"-clusters", "4", "-vp", "stride", "-steer", "vpb", "-json"}
+
+	code, rec, stderr := cli(t, append([]string{"-kernel", "gsmdec", "-trace-out", cvt}, common...)...)
+	if code != 0 {
+		t.Fatalf("record run exited %d: %s", code, stderr)
+	}
+	code, rep, stderr := cli(t, append([]string{"-trace-in", cvt}, common...)...)
+	if code != 0 {
+		t.Fatalf("replay run exited %d: %s", code, stderr)
+	}
+
+	var a, b runner.Record
+	if err := json.Unmarshal([]byte(rec), &a); err != nil {
+		t.Fatalf("record output is not JSON: %v", err)
+	}
+	if err := json.Unmarshal([]byte(rep), &b); err != nil {
+		t.Fatalf("replay output is not JSON: %v", err)
+	}
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions ||
+		a.BusTransfers != b.BusTransfers || a.Reissues != b.Reissues || a.IPC != b.IPC {
+		t.Errorf("replay diverged from recording:\nrecorded %+v\nreplayed %+v", a, b)
+	}
+	if a.Kernel != "gsmdec" || b.Kernel != "gsmdec" {
+		t.Errorf("benchmark labels: recorded %q, replayed %q (want gsmdec)", a.Kernel, b.Kernel)
+	}
+}

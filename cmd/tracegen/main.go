@@ -1,7 +1,8 @@
-// Command tracegen inspects the workload kernels: it lists the suite
-// (Table 2), disassembles a kernel's static code, or dumps a prefix of
-// its dynamic trace with operand values — useful when developing new
-// kernels or debugging predictor behaviour.
+// Command tracegen inspects and exports the workload kernels: it lists
+// the suite (Table 2), disassembles a kernel's static code, dumps a
+// prefix of its dynamic trace with operand values, or encodes the full
+// trace into a streaming .cvt file for later replay (clustersim
+// -trace-in, grid Job.Trace, clustervp.RunTraceFile).
 //
 // Usage:
 //
@@ -9,6 +10,13 @@
 //	tracegen -kernel cjpeg -disasm
 //	tracegen -kernel cjpeg -trace 50
 //	tracegen -kernel cjpeg -stats
+//	tracegen -kernel cjpeg -out cjpeg.cvt              # scale 1 trace
+//	tracegen -kernel cjpeg -n 1000000 -out cjpeg.cvt   # >= 1M instructions
+//	tracegen -kernel cjpeg -seed 7 -out cjpeg-7.cvt    # re-seeded inputs
+//
+// -n picks the smallest workload scale whose dynamic instruction count
+// reaches the target (kernels scale nearly linearly); -scale bypasses
+// that and uses the given scale directly.
 package main
 
 import (
@@ -19,42 +27,82 @@ import (
 	"clustervp"
 	"clustervp/internal/isa"
 	"clustervp/internal/trace"
-	"clustervp/internal/workload"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list kernels (Table 2)")
-	kernel := flag.String("kernel", "", "kernel name")
-	disasm := flag.Bool("disasm", false, "print static disassembly")
-	traceN := flag.Int("trace", 0, "print first N dynamic instructions")
-	doStats := flag.Bool("stats", false, "print dynamic instruction mix")
-	scale := flag.Int("scale", 1, "workload scale")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("tracegen", flag.ExitOnError)
+	list := fs.Bool("list", false, "list kernels (Table 2)")
+	kernel := fs.String("kernel", "", "kernel name")
+	disasm := fs.Bool("disasm", false, "print static disassembly")
+	traceN := fs.Int("trace", 0, "print first N dynamic instructions")
+	doStats := fs.Bool("stats", false, "print dynamic instruction mix")
+	scale := fs.Int("scale", 0, "workload scale (0 = 1, or derived from -n)")
+	n := fs.Uint64("n", 0, "scale the workload until the dynamic trace reaches at least N instructions")
+	seed := fs.Uint64("seed", 0, "re-seed the kernel's input data (0 = canonical inputs)")
+	out := fs.String("out", "", "encode the full dynamic trace into this .cvt file")
+	fs.Parse(args)
 
 	if *list {
-		fmt.Printf("%-12s %-12s %-8s %s\n", "name", "category", "fp", "description")
+		fmt.Fprintf(stdout, "%-12s %-12s %-8s %s\n", "name", "category", "fp", "description")
 		for _, k := range clustervp.KernelInfos() {
-			fmt.Printf("%-12s %-12s %-8v %s\n", k.Name, k.Category, k.FPHeavy, k.Description)
+			fmt.Fprintf(stdout, "%-12s %-12s %-8v %s\n", k.Name, k.Category, k.FPHeavy, k.Description)
 		}
-		return
+		return 0
 	}
 	if *kernel == "" {
-		fmt.Fprintln(os.Stderr, "need -kernel (or -list)")
-		os.Exit(2)
-	}
-	prog, err := clustervp.BuildKernel(*kernel, *scale)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "need -kernel (or -list)")
+		return 2
 	}
 
-	if *disasm {
-		for pc, in := range prog.Code {
-			fmt.Printf("%5d: %s\n", pc, in)
-		}
-		return
+	effScale := *scale
+	if effScale < 1 {
+		effScale = 1
 	}
-	if *traceN > 0 {
+	if *n > 0 {
+		if *scale > 0 {
+			fmt.Fprintln(stderr, "-n and -scale are mutually exclusive")
+			return 2
+		}
+		s, err := scaleForCount(*kernel, *seed, *n)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		effScale = s
+	}
+	prog, err := clustervp.BuildKernelSeeded(*kernel, effScale, *seed)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	switch {
+	case *out != "":
+		written, err := trace.WriteFile(*out, prog.Name, prog.Code, trace.NewExecutor(prog))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		st, err := os.Stat(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s: %d records at scale %d -> %s (%d bytes, %.2f B/record)\n",
+			*kernel, written, effScale, *out, st.Size(), float64(st.Size())/float64(written))
+		return 0
+
+	case *disasm:
+		for pc, in := range prog.Code {
+			fmt.Fprintf(stdout, "%5d: %s\n", pc, in)
+		}
+		return 0
+
+	case *traceN > 0:
 		e := trace.NewExecutor(prog)
 		var d trace.DynInst
 		for i := 0; i < *traceN && e.Next(&d); i++ {
@@ -68,36 +116,79 @@ func main() {
 			if d.Info().IsLoad || d.Info().IsStore {
 				line += fmt.Sprintf(" @%#x", d.Addr)
 			}
-			fmt.Println(line)
+			fmt.Fprintln(stdout, line)
 		}
-		return
-	}
-	if *doStats {
-		k, err := workload.ByName(*kernel)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		e := trace.NewExecutor(k.Build(*scale))
+		return 0
+
+	case *doStats:
+		e := trace.NewExecutor(prog)
 		var d trace.DynInst
 		var total uint64
 		byClass := map[isa.Class]uint64{}
-		byOp := map[isa.Opcode]uint64{}
 		for e.Next(&d) {
 			total++
 			byClass[d.Info().Class]++
-			byOp[d.Inst.Op]++
 		}
 		if err := e.Err(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Printf("%s: %d dynamic instructions, %d static\n", *kernel, total, len(prog.Code))
+		fmt.Fprintf(stdout, "%s: %d dynamic instructions, %d static\n", *kernel, total, len(prog.Code))
 		for _, c := range []isa.Class{isa.ClassIntALU, isa.ClassIntMulDiv, isa.ClassMem, isa.ClassFPALU, isa.ClassFPMulDiv} {
-			fmt.Printf("  %-10s %8d (%.1f%%)\n", c, byClass[c], 100*float64(byClass[c])/float64(total))
+			fmt.Fprintf(stdout, "  %-10s %8d (%.1f%%)\n", c, byClass[c], 100*float64(byClass[c])/float64(total))
 		}
-		return
+		return 0
 	}
-	fmt.Fprintln(os.Stderr, "nothing to do: pass -disasm, -trace N or -stats")
-	os.Exit(2)
+	fmt.Fprintln(stderr, "nothing to do: pass -disasm, -trace N, -stats or -out FILE")
+	return 2
+}
+
+// scaleForCount derives the smallest scale whose dynamic instruction
+// count reaches target, from one cheap scale-1 measurement (kernel
+// iteration counts scale linearly in the scale factor, so the estimate
+// is refined at most a few times).
+func scaleForCount(kernel string, seed, target uint64) (int, error) {
+	perUnit, err := countAt(kernel, seed, 1)
+	if err != nil {
+		return 0, err
+	}
+	scale := int((target + perUnit - 1) / perUnit)
+	if scale < 1 {
+		scale = 1
+	}
+	for {
+		got, err := countAt(kernel, seed, scale)
+		if err != nil {
+			return 0, err
+		}
+		if got >= target {
+			return scale, nil
+		}
+		// Undershoot from sub-linear growth: bump proportionally.
+		grow := int(uint64(scale) * (target - got) / got)
+		if grow < 1 {
+			grow = 1
+		}
+		scale += grow
+	}
+}
+
+func countAt(kernel string, seed uint64, scale int) (uint64, error) {
+	prog, err := clustervp.BuildKernelSeeded(kernel, scale, seed)
+	if err != nil {
+		return 0, err
+	}
+	e := trace.NewExecutor(prog)
+	var d trace.DynInst
+	var total uint64
+	for e.Next(&d) {
+		total++
+	}
+	if err := e.Err(); err != nil {
+		return 0, err
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("tracegen: %s executed zero instructions", kernel)
+	}
+	return total, nil
 }

@@ -1,0 +1,100 @@
+// Trace replay walkthrough: record a kernel's dynamic instruction
+// stream into a versioned .cvt trace file, replay it through the timing
+// simulator, and verify the replay is bit-identical to simulating the
+// kernel in-process — the property that makes traces a cacheable,
+// shareable experiment artifact (generate once, sweep many
+// configurations over the same file, reproduce results anywhere).
+//
+// Run with: go run ./examples/trace_replay
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"clustervp"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "trace_replay")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. Record: functionally execute the kernel once and stream its
+	// dynamic instructions — operand values and all — into a .cvt file.
+	const kernel = "gsmdec"
+	path := filepath.Join(dir, kernel+".cvt")
+	n, err := clustervp.WriteKernelTrace(path, kernel, 1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %s: %d instructions in %d bytes (%.2f B/instr)\n\n",
+		path, n, st.Size(), float64(st.Size())/float64(n))
+
+	// 2. Sweep: replay the same file under several machine
+	// configurations. The trace is read block by block, so this works
+	// unchanged for million- or billion-instruction files.
+	fmt.Printf("%-28s %8s %10s %8s\n", "configuration", "cycles", "IPC", "comm/i")
+	for _, c := range []struct {
+		name string
+		cfg  clustervp.Config
+	}{
+		{"1 cluster", clustervp.Preset(1)},
+		{"4 clusters", clustervp.Preset(4)},
+		{"4 clusters + VP/VPB", clustervp.Preset(4).
+			WithVP(clustervp.VPStride).WithSteering(clustervp.SteerVPB)},
+	} {
+		r, err := clustervp.RunTraceFile(c.cfg, path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %8d %10.4f %8.4f\n", c.name, r.Cycles, r.IPC(), r.CommPerInstr())
+	}
+
+	// 3. Verify: the replay must match in-process simulation exactly —
+	// same cycles, same counters, bit for bit.
+	cfg := clustervp.Preset(4).WithVP(clustervp.VPStride).WithSteering(clustervp.SteerVPB)
+	replayed, err := clustervp.RunTraceFile(cfg, path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	direct, err := clustervp.Run(cfg, kernel, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if replayed.Cycles != direct.Cycles || replayed.Instructions != direct.Instructions ||
+		replayed.BusTransfers != direct.BusTransfers || replayed.Reissues != direct.Reissues {
+		log.Fatalf("replay diverged from in-process simulation:\nreplayed %+v\ndirect   %+v", replayed, direct)
+	}
+	fmt.Printf("\nreplay == in-process: %d cycles, %d instructions, %d transfers, %d reissues\n",
+		replayed.Cycles, replayed.Instructions, replayed.BusTransfers, replayed.Reissues)
+
+	// 4. Grids: MaterializeTraces does the recording automatically for a
+	// whole experiment grid — each distinct workload is encoded once and
+	// every configuration replays the shared file.
+	jobs := []clustervp.Job{
+		{Config: clustervp.Preset(1), Kernel: kernel, Scale: 1},
+		{Config: clustervp.Preset(2), Kernel: kernel, Scale: 1},
+		{Config: clustervp.Preset(4), Kernel: kernel, Scale: 1},
+	}
+	jobs, err = clustervp.MaterializeTraces(filepath.Join(dir, "grid"), jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := clustervp.RunGrid(jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngrid over one shared trace (%s):\n", jobs[0].Trace)
+	for _, r := range rs {
+		fmt.Printf("  %-10s IPC=%.4f\n", r.Job.Config.Name, r.Res.IPC())
+	}
+}

@@ -11,10 +11,13 @@ func (s *Sim) issue(now int64) {
 	dports := s.cfg.DCachePorts
 
 	// Per-cluster count of ready instructions denied by width/FU limits,
-	// for the NREADY imbalance metric (§2.3.2).
+	// for the NREADY imbalance metric (§2.3.2); the slices are Sim-owned
+	// scratch, zeroed here rather than reallocated every cycle.
 	nc := s.cfg.Clusters
-	excessInt := make([]int, nc)
-	excessFP := make([]int, nc)
+	excessInt, excessFP := s.excessInt, s.excessFP
+	for c := range excessInt {
+		excessInt[c], excessFP[c] = 0, 0
+	}
 
 	for i := s.headSeq; i < s.nextSeq; i++ {
 		e := &s.ring[i%ringCap]
@@ -290,7 +293,10 @@ func (s *Sim) commit(now int64) {
 				s.table.SetProvider(e.destLog, field, eref{})
 			}
 			if e.freeAtCommit != nil {
+				// The table reclaims the slice; drop our reference so a
+				// recycled ring slot can never resurrect it.
 				s.table.ReleaseAtCommit(e.freeAtCommit)
+				e.freeAtCommit = nil
 			}
 		}
 		if e.isStore {

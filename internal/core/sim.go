@@ -31,9 +31,13 @@ const (
 type Sim struct {
 	cfg config.Config
 
-	exec   *trace.Executor
-	peeked *trace.DynInst
-	trDone bool
+	// src streams the dynamic instructions; it is either an in-process
+	// functional executor or a .cvt file reader — the timing model
+	// cannot tell the difference.
+	src      trace.Source
+	peekBuf  trace.DynInst
+	havePeek bool
+	trDone   bool
 
 	bp     *bpred.Unit
 	vp     vpred.Predictor
@@ -53,7 +57,11 @@ type Sim struct {
 
 	iqCount []int
 
-	fetchQ []fetched
+	// fetchQ is a fixed ring between fetch and dispatch; fqHead indexes
+	// the oldest entry, fqLen counts occupancy.
+	fetchQ [fetchQCap]fetched
+	fqHead int
+	fqLen  int
 	// fetchReadyTime gates fetch (I-cache misses, branch redirects);
 	// lastFetchLine dedupes I-cache accesses within a line.
 	fetchReadyTime int64
@@ -67,22 +75,47 @@ type Sim struct {
 	activeStores        []eref
 	lastCommitCycle     int64
 
+	// Per-instruction and per-cycle scratch, hoisted out of the hot
+	// loop so steady-state simulation performs zero heap allocations
+	// (see BenchmarkSimSteadyState and TestSteadyStateAllocFree).
+	views     [trace.MaxSrc]opView
+	steerOps  [trace.MaxSrc]steer.Operand
+	plans     [trace.MaxSrc]copyPlan
+	verifs    [trace.MaxSrc]verification
+	consSrcs  [trace.MaxSrc]source
+	iqNeed    []int
+	regNeed   []int
+	excessInt []int
+	excessFP  []int
+
 	out stats.Results
 }
 
 // New builds a simulator for the given configuration and program. It
 // returns an error for invalid configurations.
 func New(cfg config.Config, prog *program.Program) (*Sim, error) {
+	return NewFromSource(cfg, trace.NewExecutor(prog), prog.Name)
+}
+
+// NewFromSource builds a simulator that consumes an arbitrary dynamic
+// instruction stream — an in-process executor, a .cvt trace file
+// reader, or anything else satisfying trace.Source. benchmark labels
+// the stream in the results.
+func NewFromSource(cfg config.Config, src trace.Source, benchmark string) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	s := &Sim{
 		cfg:           cfg,
-		exec:          trace.NewExecutor(prog),
+		src:           src,
 		bp:            bpred.NewUnit(bpred.NewPaperCombined()),
 		bal:           steer.NewBalancer(cfg.Clusters),
 		table:         rename.New[eref](cfg.Clusters, cfg.Cluster.PhysRegs),
 		iqCount:       make([]int, cfg.Clusters),
+		iqNeed:        make([]int, cfg.Clusters),
+		regNeed:       make([]int, cfg.Clusters),
+		excessInt:     make([]int, cfg.Clusters),
+		excessFP:      make([]int, cfg.Clusters),
 		lastFetchLine: -1,
 	}
 	switch cfg.Steering {
@@ -123,28 +156,44 @@ func New(cfg config.Config, prog *program.Program) (*Sim, error) {
 		s.res[c] = cluster.New(cfg.Cluster)
 	}
 	s.out.Config = cfg.Name
-	s.out.Benchmark = prog.Name
+	s.out.Benchmark = benchmark
 	return s, nil
 }
 
-// peek returns the next dynamic instruction without consuming it.
+// peek returns the next dynamic instruction without consuming it. The
+// record lives in a Sim-owned buffer so peeking never heap-allocates.
 func (s *Sim) peek() *trace.DynInst {
-	if s.peeked != nil {
-		return s.peeked
+	if s.havePeek {
+		return &s.peekBuf
 	}
 	if s.trDone {
 		return nil
 	}
-	var d trace.DynInst
-	if !s.exec.Next(&d) {
+	if !s.src.Next(&s.peekBuf) {
 		s.trDone = true
 		return nil
 	}
-	s.peeked = &d
-	return s.peeked
+	s.havePeek = true
+	return &s.peekBuf
 }
 
-func (s *Sim) consume() { s.peeked = nil }
+func (s *Sim) consume() { s.havePeek = false }
+
+// step advances the machine by one cycle: verification, commit, issue,
+// dispatch and fetch, in the reverse-pipeline order the paper's
+// simulator uses so each stage sees the previous cycle's state.
+func (s *Sim) step(cycle int64) {
+	s.processVerifications(cycle)
+	s.commit(cycle)
+	s.issue(cycle)
+	s.dispatch(cycle)
+	s.fetch(cycle)
+}
+
+// drained reports whether the trace is exhausted and the pipeline empty.
+func (s *Sim) drained() bool {
+	return s.trDone && !s.havePeek && s.robCount == 0 && s.fqLen == 0
+}
 
 // Run simulates until the trace drains and the pipeline empties, then
 // returns the collected statistics.
@@ -158,12 +207,8 @@ func (s *Sim) Run() (stats.Results, error) {
 		if cycle > maxCyc {
 			return s.out, fmt.Errorf("core: exceeded %d cycles", maxCyc)
 		}
-		s.processVerifications(cycle)
-		s.commit(cycle)
-		s.issue(cycle)
-		s.dispatch(cycle)
-		s.fetch(cycle)
-		if s.trDone && s.peeked == nil && s.robCount == 0 && len(s.fetchQ) == 0 {
+		s.step(cycle)
+		if s.drained() {
 			cycle++
 			break
 		}
@@ -171,7 +216,7 @@ func (s *Sim) Run() (stats.Results, error) {
 			return s.out, fmt.Errorf("core: deadlock at cycle %d: %s", cycle, s.describeHead(cycle))
 		}
 	}
-	if err := s.exec.Err(); err != nil {
+	if err := s.src.Err(); err != nil {
 		return s.out, err
 	}
 	s.out.Cycles = cycle
@@ -228,7 +273,7 @@ func (s *Sim) fetch(now int64) {
 	if now < s.fetchReadyTime {
 		return
 	}
-	for n := 0; n < s.cfg.FetchWidth && len(s.fetchQ) < fetchQCap; n++ {
+	for n := 0; n < s.cfg.FetchWidth && s.fqLen < fetchQCap; n++ {
 		d := s.peek()
 		if d == nil {
 			return
@@ -254,7 +299,8 @@ func (s *Sim) fetch(now int64) {
 			}
 		}
 		s.consume()
-		s.fetchQ = append(s.fetchQ, f)
+		s.fetchQ[(s.fqHead+s.fqLen)%fetchQCap] = f
+		s.fqLen++
 		if f.mispred {
 			// Fetch cannot proceed past a mispredicted branch until it
 			// resolves; the block transfers to blockingBranch at
@@ -265,10 +311,14 @@ func (s *Sim) fetch(now int64) {
 	}
 }
 
-// alloc claims the next ROB ring slot.
+// alloc claims the next ROB ring slot. The ring doubles as the entry
+// free-list pool: a slot's deps slice keeps its capacity across
+// recycles, so the dependence edges of a long-running simulation stop
+// allocating once every slot has warmed up.
 func (s *Sim) alloc() *entry {
 	e := &s.ring[s.nextSeq%ringCap]
-	*e = entry{seq: s.nextSeq, doneTime: 1 << 62}
+	deps := e.deps[:0]
+	*e = entry{seq: s.nextSeq, doneTime: 1 << 62, deps: deps}
 	s.nextSeq++
 	s.robCount++
 	return e
@@ -279,15 +329,16 @@ func (s *Sim) alloc() *entry {
 // verification-copy instructions, all consuming ROB/IQ/register
 // resources.
 func (s *Sim) dispatch(now int64) {
-	for n := 0; n < s.cfg.DecodeWidth && len(s.fetchQ) > 0; n++ {
-		f := &s.fetchQ[0]
+	for n := 0; n < s.cfg.DecodeWidth && s.fqLen > 0; n++ {
+		f := &s.fetchQ[s.fqHead]
 		if now < f.fetchTime+int64(s.cfg.RenameCycles) {
 			return
 		}
 		if !s.dispatchOne(now, f) {
 			return
 		}
-		s.fetchQ = s.fetchQ[1:]
+		s.fqHead = (s.fqHead + 1) % fetchQCap
+		s.fqLen--
 	}
 }
 
@@ -303,14 +354,19 @@ type opView struct {
 	correct  bool
 }
 
+// analyzeOperands fills the Sim-owned operand-view scratch buffer and
+// returns the populated prefix; the views stay valid until the next
+// call (dispatch is strictly sequential, so nothing ever holds two
+// instructions' views at once).
 func (s *Sim) analyzeOperands(now int64, f *fetched) []opView {
-	srcs := f.dyn.Inst.Sources()
-	views := make([]opView, len(srcs))
+	nsrc := f.dyn.Info().NumSrc
+	views := s.views[:nsrc]
 	if !f.vpDone {
 		// Decode-time predictor lookup and training, once per dynamic
 		// instruction (§2.2: predictions available and tables updated at
 		// decode).
-		for i, r := range srcs {
+		for i := 0; i < nsrc; i++ {
+			r := f.dyn.Inst.Source(i)
 			if r == isa.R0 {
 				continue
 			}
@@ -320,8 +376,10 @@ func (s *Sim) analyzeOperands(now int64, f *fetched) []opView {
 		}
 		f.vpDone = true
 	}
-	for i, r := range srcs {
+	for i := range views {
+		r := f.dyn.Inst.Source(i)
 		v := &views[i]
+		*v = opView{}
 		v.reg = r
 		v.isFP = r.IsFP()
 		if r == isa.R0 {
@@ -340,15 +398,24 @@ func (s *Sim) analyzeOperands(now int64, f *fetched) []opView {
 	return views
 }
 
+// copyPlan records one copy or verification-copy an instruction's
+// dispatch will generate.
+type copyPlan struct {
+	opIdx int
+	isVC  bool
+	home  int
+}
+
 // dispatchOne renames, steers and inserts one instruction (plus its
 // generated copies); it returns false when a structural resource is
-// exhausted and dispatch must retry next cycle.
+// exhausted and dispatch must retry next cycle. All intermediate
+// per-instruction state lives in Sim-owned scratch buffers.
 func (s *Sim) dispatchOne(now int64, f *fetched) bool {
 	views := s.analyzeOperands(now, f)
 	info := f.dyn.Info()
 
 	// Steering.
-	ops := make([]steer.Operand, 0, len(views))
+	ops := s.steerOps[:0]
 	for _, v := range views {
 		if v.constant {
 			continue
@@ -363,12 +430,7 @@ func (s *Sim) dispatchOne(now int64, f *fetched) bool {
 	cl := s.str.Choose(ops)
 
 	// Plan resource needs.
-	type copyPlan struct {
-		opIdx int
-		isVC  bool
-		home  int
-	}
-	var plans []copyPlan
+	plans := s.plans[:0]
 	for i := range views {
 		v := &views[i]
 		if v.constant {
@@ -377,11 +439,7 @@ func (s *Sim) dispatchOne(now int64, f *fetched) bool {
 		if v.mapped&(1<<uint(cl)) != 0 {
 			continue // mapped in target cluster: read locally (maybe predicted)
 		}
-		if v.conf {
-			plans = append(plans, copyPlan{opIdx: i, isVC: true, home: v.home})
-		} else {
-			plans = append(plans, copyPlan{opIdx: i, isVC: false, home: v.home})
-		}
+		plans = append(plans, copyPlan{opIdx: i, isVC: v.conf, home: v.home})
 	}
 
 	hasDest := false
@@ -397,9 +455,11 @@ func (s *Sim) dispatchOne(now int64, f *fetched) bool {
 		s.out.DispatchStallROB++
 		return false
 	}
-	iqNeed := make([]int, s.cfg.Clusters)
+	iqNeed, regNeed := s.iqNeed, s.regNeed
+	for c := range iqNeed {
+		iqNeed[c], regNeed[c] = 0, 0
+	}
 	iqNeed[cl]++
-	regNeed := make([]int, s.cfg.Clusters)
 	if hasDest {
 		regNeed[cl]++
 	}
@@ -422,8 +482,8 @@ func (s *Sim) dispatchOne(now int64, f *fetched) bool {
 
 	// Create copies and verification-copies (they precede the consumer
 	// in ROB order).
-	consumerSrcs := make([]source, len(views))
-	var verifs []verification
+	consumerSrcs := s.consSrcs[:len(views)]
+	verifs := s.verifs[:0]
 	for i := range views {
 		v := &views[i]
 		consumerSrcs[i] = source{reg: v.reg, isFP: v.isFP}

@@ -380,6 +380,16 @@ func (i Inst) Sources() []RegID {
 	}
 }
 
+// Source returns the register of source operand i in the same operand
+// order as Sources, without allocating — the form hot paths use.
+// Only i < InfoFor(i.Op).NumSrc is meaningful.
+func (i Inst) Source(k int) RegID {
+	if k == 0 {
+		return i.Ra
+	}
+	return i.Rb
+}
+
 // Dest returns the destination register and true, or NoReg and false when
 // the instruction writes no register.
 func (i Inst) Dest() (RegID, bool) {

@@ -67,6 +67,10 @@ type Table[P any] struct {
 	fields   [][]Mapping[P] // [logical][cluster]
 	home     []int          // cluster of the current writer
 	free     []*FreeList
+	// spare recycles the per-writer freeAtCommit count slices between
+	// Rename and ReleaseAtCommit, so steady-state renaming allocates
+	// nothing (the pool is bounded by the number of in-flight writers).
+	spare [][]int
 }
 
 // New builds a map table for the given cluster count and per-cluster
@@ -138,7 +142,15 @@ func (t *Table[P]) Rename(r isa.RegID, c int, p P) (freeAtCommit []int, ok bool)
 	if !t.free[c].Alloc() {
 		return nil, false
 	}
-	freeAtCommit = make([]int, t.clusters)
+	if n := len(t.spare); n > 0 {
+		freeAtCommit = t.spare[n-1]
+		t.spare = t.spare[:n-1]
+		for i := range freeAtCommit {
+			freeAtCommit[i] = 0
+		}
+	} else {
+		freeAtCommit = make([]int, t.clusters)
+	}
 	for i := range t.fields[r] {
 		if t.fields[r][i].Valid {
 			freeAtCommit[i]++
@@ -175,11 +187,13 @@ func (t *Table[P]) SetProvider(r isa.RegID, c int, p P) {
 }
 
 // ReleaseAtCommit returns the registers of a dead mapping generation to
-// their free lists; counts is the slice returned by Rename.
+// their free lists; counts is the slice returned by Rename, which the
+// table reclaims for reuse — the caller must not touch it afterwards.
 func (t *Table[P]) ReleaseAtCommit(counts []int) {
 	for c, n := range counts {
 		if n > 0 {
 			t.free[c].Release(n)
 		}
 	}
+	t.spare = append(t.spare, counts)
 }

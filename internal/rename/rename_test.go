@@ -209,3 +209,30 @@ func TestRegisterConservationProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFreeAtCommitSliceRecycling pins the pool contract: ReleaseAtCommit
+// reclaims the counts slice for the next Rename, and a recycled slice
+// must come back fully zeroed — stale counts would double-free physical
+// registers and blow the conservation invariant.
+func TestFreeAtCommitSliceRecycling(t *testing.T) {
+	tb := New[int](2, 40)
+	fr1, ok := tb.Rename(isa.R5, 0, 1) // writer: R5's old mapping dies at commit
+	if !ok || fr1 == nil {
+		t.Fatal("first rename failed")
+	}
+	tb.ReleaseAtCommit(fr1)
+	fr2, ok := tb.Rename(isa.R5, 1, 2)
+	if !ok {
+		t.Fatal("second rename failed")
+	}
+	if &fr1[0] != &fr2[0] {
+		t.Error("ReleaseAtCommit did not recycle the counts slice")
+	}
+	// fr2 must reflect only the second rename's dead mappings (exactly
+	// one: the generation written by rename #1 in cluster 0), with no
+	// residue from fr1's contents.
+	if fr2[0] != 1 || fr2[1] != 0 {
+		t.Errorf("recycled slice carries stale counts: %v", fr2)
+	}
+	tb.ReleaseAtCommit(fr2)
+}

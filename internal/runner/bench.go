@@ -1,0 +1,179 @@
+package runner
+
+// Benchmark-result plumbing for the CI perf gate: parse `go test
+// -bench` output into structured records, merge repeated -count runs,
+// serialize to JSON (BENCH_*.json), and compare against a checked-in
+// baseline with a regression tolerance. Used by cmd/benchexport.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchRecord is one benchmark's merged measurement.
+type BenchRecord struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Runs is how many -count repetitions were merged in.
+	Runs int `json:"runs"`
+	// NsPerOp is the best (minimum) time per operation across runs —
+	// the standard way to suppress scheduling noise.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are the worst (maximum) across runs:
+	// an allocation regression in any run is a real regression.
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric units (IPC, sim-instrs/s, …)
+	// from the fastest run.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// ParseBench extracts benchmark result lines from `go test -bench`
+// output, merging repeated runs of the same benchmark (min ns/op, max
+// allocs). Non-benchmark lines are ignored, so the full test output can
+// be piped in unfiltered.
+func ParseBench(r io.Reader) ([]BenchRecord, error) {
+	merged := map[string]*BenchRecord{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-8  N  v1 unit1  v2 unit2 ...
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		rec := BenchRecord{Name: name, Runs: 1, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("runner: bench line %q: bad value %q", line, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				rec.NsPerOp = v
+			case "B/op":
+				rec.BytesPerOp = v
+			case "allocs/op":
+				rec.AllocsPerOp = v
+			default:
+				rec.Metrics[unit] = v
+			}
+		}
+		if prev, ok := merged[name]; ok {
+			prev.Runs++
+			if rec.NsPerOp < prev.NsPerOp {
+				prev.NsPerOp = rec.NsPerOp
+				for k, v := range rec.Metrics {
+					prev.Metrics[k] = v
+				}
+			}
+			if rec.BytesPerOp > prev.BytesPerOp {
+				prev.BytesPerOp = rec.BytesPerOp
+			}
+			if rec.AllocsPerOp > prev.AllocsPerOp {
+				prev.AllocsPerOp = rec.AllocsPerOp
+			}
+		} else {
+			merged[name] = &rec
+			order = append(order, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]BenchRecord, 0, len(merged))
+	for _, n := range order {
+		r := *merged[n]
+		if len(r.Metrics) == 0 {
+			r.Metrics = nil
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// WriteBenchJSON serializes records as an indented JSON array (the
+// BENCH_*.json format).
+func WriteBenchJSON(w io.Writer, recs []BenchRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// ReadBenchJSONFile loads a BENCH_*.json file.
+func ReadBenchJSONFile(path string) ([]BenchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []BenchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// CompareBench reports the benchmarks whose ns/op regressed by more
+// than tolerance (0.2 = 20%) against the baseline, in a deterministic
+// order. When calibrate names a benchmark present in both sets, every
+// ns/op is first divided by that benchmark's ns/op from its own set, so
+// comparisons across machines of different absolute speed stay
+// meaningful. Benchmarks missing from either side are skipped — adding
+// a benchmark must not break CI, and removing one is reviewed in the
+// diff anyway.
+func CompareBench(baseline, current []BenchRecord, tolerance float64, calibrate string) []string {
+	base := map[string]BenchRecord{}
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	baseScale, curScale := 1.0, 1.0
+	if calibrate != "" {
+		b, bok := base[calibrate]
+		var c BenchRecord
+		var cok bool
+		for _, r := range current {
+			if r.Name == calibrate {
+				c, cok = r, true
+				break
+			}
+		}
+		if bok && cok && b.NsPerOp > 0 && c.NsPerOp > 0 {
+			baseScale, curScale = b.NsPerOp, c.NsPerOp
+		}
+	}
+	var regressions []string
+	for _, cur := range current {
+		if cur.Name == calibrate {
+			continue
+		}
+		b, ok := base[cur.Name]
+		if !ok || b.NsPerOp <= 0 || cur.NsPerOp <= 0 {
+			continue
+		}
+		rel := (cur.NsPerOp / curScale) / (b.NsPerOp / baseScale)
+		if rel > 1+tolerance {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%.1f%% slower, tolerance %.0f%%)",
+					cur.Name, cur.NsPerOp, b.NsPerOp, (rel-1)*100, tolerance*100))
+		}
+	}
+	sort.Strings(regressions)
+	return regressions
+}

@@ -1,0 +1,92 @@
+package runner
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `
+goos: linux
+goarch: amd64
+pkg: clustervp
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimSteadyState-8   	   10000	      2100 ns/op	       1 B/op	       0 allocs/op
+BenchmarkSimSteadyState-8   	   10000	      1999 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSimSteadyState-8   	   10000	      2050 ns/op	       2 B/op	       1 allocs/op
+BenchmarkSimulatorThroughput-8 	      49	  44350485 ns/op	   4959251 sim-instrs/s	17586432 B/op	   10966 allocs/op
+BenchmarkCalibration-8      	  120000	     10000 ns/op
+PASS
+ok  	clustervp	2.601s
+`
+
+func TestParseBenchMerges(t *testing.T) {
+	recs, err := ParseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("parsed %d records, want 3: %+v", len(recs), recs)
+	}
+	ss := recs[0]
+	if ss.Name != "BenchmarkSimSteadyState" || ss.Runs != 3 {
+		t.Fatalf("bad merged record: %+v", ss)
+	}
+	if ss.NsPerOp != 1999 {
+		t.Errorf("merged ns/op = %v, want the minimum 1999", ss.NsPerOp)
+	}
+	if ss.AllocsPerOp != 1 || ss.BytesPerOp != 2 {
+		t.Errorf("merged allocs/B = %v/%v, want the maxima 1/2", ss.AllocsPerOp, ss.BytesPerOp)
+	}
+	tp := recs[1]
+	if tp.Metrics["sim-instrs/s"] != 4959251 {
+		t.Errorf("custom metric lost: %+v", tp.Metrics)
+	}
+}
+
+func TestBenchJSONRoundTrip(t *testing.T) {
+	recs, err := ParseBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"sim-instrs/s"`) {
+		t.Errorf("JSON lacks the custom metric:\n%s", buf.String())
+	}
+}
+
+func TestCompareBench(t *testing.T) {
+	base := []BenchRecord{
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkB", NsPerOp: 1000},
+		{Name: "BenchmarkCalibration", NsPerOp: 100},
+	}
+	cur := []BenchRecord{
+		{Name: "BenchmarkA", NsPerOp: 1100}, // +10%: inside 20% tolerance
+		{Name: "BenchmarkB", NsPerOp: 1500}, // +50%: regression
+		{Name: "BenchmarkNew", NsPerOp: 9e9},
+		{Name: "BenchmarkCalibration", NsPerOp: 100},
+	}
+	regs := CompareBench(base, cur, 0.2, "")
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkB") {
+		t.Fatalf("regressions = %v, want exactly BenchmarkB", regs)
+	}
+
+	// Same shape on a machine 2x slower: calibration must absorb it.
+	slower := []BenchRecord{
+		{Name: "BenchmarkA", NsPerOp: 2200},
+		{Name: "BenchmarkB", NsPerOp: 2100},
+		{Name: "BenchmarkCalibration", NsPerOp: 200},
+	}
+	if regs := CompareBench(base, slower, 0.2, "BenchmarkCalibration"); len(regs) != 0 {
+		t.Errorf("calibrated comparison flagged a uniformly slower machine: %v", regs)
+	}
+	// Without calibration the same numbers regress (all three rows,
+	// including the probe itself, which is only exempt when named).
+	if regs := CompareBench(base, slower, 0.2, ""); len(regs) != 3 {
+		t.Errorf("uncalibrated comparison found %d regressions, want 3", len(regs))
+	}
+}

@@ -22,15 +22,24 @@ import (
 	"clustervp/internal/core"
 	"clustervp/internal/interconnect"
 	"clustervp/internal/stats"
+	"clustervp/internal/trace"
 	"clustervp/internal/workload"
 )
 
 // Job is one simulation: a machine configuration applied to a suite
-// kernel at a workload scale.
+// kernel at a workload scale, or to a pre-recorded .cvt trace file.
 type Job struct {
 	Config config.Config
 	Kernel string
 	Scale  int
+	// Seed re-seeds the kernel's pseudo-random input streams (0 = the
+	// canonical inputs). Ignored when Trace is set — a trace file bakes
+	// its inputs in.
+	Seed uint64
+	// Trace, when non-empty, replays the .cvt file at that path instead
+	// of synthesizing the kernel in-process. Kernel then only labels the
+	// results (falling back to the trace's own header name when empty).
+	Trace string
 }
 
 // EffectiveScale is the scale actually simulated (scales below 1 clamp
@@ -43,15 +52,27 @@ func (j Job) EffectiveScale() int {
 }
 
 // Fingerprint is the canonical memoization key: the full Config value
-// (Name is cosmetic and zeroed out) plus the kernel and effective
-// scale. Deriving it from the struct itself means a field added to
-// Config later is covered automatically — at worst a cache miss, never
-// a silent false hit. Two jobs with equal fingerprints produce
-// identical Results, so the engine runs only one of them.
+// (Name is cosmetic and zeroed out) plus the workload identity — kernel
+// name, effective scale and input seed for in-process synthesis, or a
+// content digest for trace replays. Deriving it from the struct itself
+// means a field added to Config later is covered automatically — at
+// worst a cache miss, never a silent false hit. Two jobs with equal
+// fingerprints produce identical Results, so the engine runs only one
+// of them.
+//
+// Trace files are fingerprinted by content (CRC-64 plus size), not by
+// path: two grids pointing at byte-identical traces share one
+// simulation, and overwriting a trace file between runs changes the key
+// instead of silently serving stale results. An unreadable trace
+// fingerprints as its path plus the stat error, which still memoizes
+// the (failing) job deterministically.
 func (j Job) Fingerprint() string {
 	c := j.Config
 	c.Name = ""
-	return fmt.Sprintf("%+v|%s@%d", c, j.Kernel, j.EffectiveScale())
+	if j.Trace != "" {
+		return fmt.Sprintf("%+v|trace:%s", c, traceDigest(j.Trace))
+	}
+	return fmt.Sprintf("%+v|%s@%d~%d", c, j.Kernel, j.EffectiveScale(), j.Seed)
 }
 
 // displayName labels a configuration in progress lines and exported
@@ -71,8 +92,14 @@ func (j Job) String() string {
 	if j.Config.Topology != interconnect.KindBus {
 		topo = ",topo=" + j.Config.Topology.String()
 	}
+	work := j.Kernel
+	if j.Trace != "" {
+		work = "replay:" + j.Trace
+	} else if j.Seed != 0 {
+		work = fmt.Sprintf("%s~%d", j.Kernel, j.Seed)
+	}
 	return fmt.Sprintf("%s/%s(vp=%s,steer=%s%s)@%d",
-		displayName(j.Config), j.Kernel, j.Config.VP, j.Config.Steering, topo, j.EffectiveScale())
+		displayName(j.Config), work, j.Config.VP, j.Config.Steering, topo, j.EffectiveScale())
 }
 
 // Result pairs a job with its outcome.
@@ -262,14 +289,32 @@ func (e *Engine) Snapshot() []Result {
 	return out
 }
 
-// Simulate is the default Run function: build the kernel and drive the
-// trace-driven timing simulator (the same path as clustervp.Run).
+// Simulate is the default Run function: stream the job's dynamic
+// instructions — from a .cvt trace file when one is named, otherwise
+// from an in-process functional execution of the kernel — through the
+// timing simulator (the same path as clustervp.Run).
 func Simulate(j Job) (stats.Results, error) {
-	k, err := workload.ByName(j.Kernel)
+	if j.Trace != "" {
+		fr, err := trace.OpenFile(j.Trace)
+		if err != nil {
+			return stats.Results{}, err
+		}
+		defer fr.Close()
+		name := j.Kernel
+		if name == "" {
+			name = fr.Name()
+		}
+		sim, err := core.NewFromSource(j.Config, fr, name)
+		if err != nil {
+			return stats.Results{}, err
+		}
+		return sim.Run()
+	}
+	prog, err := workload.Build(j.Kernel, j.EffectiveScale(), j.Seed)
 	if err != nil {
 		return stats.Results{}, err
 	}
-	sim, err := core.New(j.Config, k.Build(j.EffectiveScale()))
+	sim, err := core.New(j.Config, prog)
 	if err != nil {
 		return stats.Results{}, err
 	}

@@ -1,0 +1,94 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"clustervp/internal/trace"
+	"clustervp/internal/workload"
+)
+
+// FuzzTraceReader throws arbitrary bytes at the .cvt decoder and
+// requires it to either decode records or fail with one of the typed
+// errors — never panic, never loop forever, never allocate in
+// proportion to an attacker-controlled length field. Run it with
+//
+//	go test -fuzz=FuzzTraceReader ./internal/trace
+//
+// The seed corpus in testdata/fuzz/FuzzTraceReader covers the
+// structured cases mutation starts from: a pristine small trace, a
+// header-only file, truncations, and bit flips in each region.
+func FuzzTraceReader(f *testing.F) {
+	k, err := workload.ByName("rawcaudio")
+	if err != nil {
+		f.Fatal(err)
+	}
+	prog := k.Build(1)
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, prog.Name, prog.Code)
+	if err != nil {
+		f.Fatal(err)
+	}
+	exec := trace.NewExecutor(prog)
+	var d trace.DynInst
+	for i := 0; i < 2000 && exec.Next(&d); i++ {
+		if err := w.Write(&d); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	f.Add(valid[:5]) // magic+version only
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("CVTR\x01"))
+	f.Add([]byte("CVTR\x63")) // future version
+	f.Add([]byte("not a trace at all"))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x20
+	f.Add(flipped)
+	// A huge declared header length with no data behind it: the decoder
+	// must reject it by limit, not allocate it.
+	f.Add([]byte{'C', 'V', 'T', 'R', 1, 0xff, 0xff, 0xff, 0xff, 0x7f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := trace.NewReader(bytes.NewReader(data))
+		if err != nil {
+			requireTyped(t, err)
+			return
+		}
+		var d trace.DynInst
+		n := 0
+		for r.Next(&d) {
+			// Every decoded record must be internally consistent enough
+			// for the timing core to consume blindly.
+			if d.PC < 0 || d.PC >= len(r.Code()) {
+				t.Fatalf("record %d: pc %d outside decoded code", n, d.PC)
+			}
+			if d.Seq != uint64(n) {
+				t.Fatalf("record %d: seq %d", n, d.Seq)
+			}
+			n++
+		}
+		if err := r.Err(); err != nil {
+			requireTyped(t, err)
+		}
+	})
+}
+
+// requireTyped fails the fuzz run when a decode error is not one of the
+// exported sentinel types.
+func requireTyped(t *testing.T, err error) {
+	t.Helper()
+	for _, want := range []error{trace.ErrBadMagic, trace.ErrVersion, trace.ErrCorrupt, trace.ErrTruncated} {
+		if errors.Is(err, want) {
+			return
+		}
+	}
+	t.Fatalf("untyped decode error: %v", err)
+}

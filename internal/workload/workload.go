@@ -16,6 +16,8 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"clustervp/internal/program"
 )
@@ -77,6 +79,51 @@ func All() []Kernel {
 	return out
 }
 
+// buildMu serializes kernel builds so the transient input-seed mix of
+// Build cannot leak into a concurrent build (grid workers build kernels
+// in parallel); seedMix is zero outside a seeded build, which keeps the
+// canonical input streams bit-identical to the pre-seeding simulator.
+// The mix is atomic so a legacy direct Kernel.Build call racing a
+// seeded Build is at worst wrongly seeded, never undefined behaviour —
+// but every production path should go through Build.
+var (
+	buildMu sync.Mutex
+	seedMix atomic.Uint64
+)
+
+// Build assembles kernel name at the given scale (clamped to >= 1) with
+// its pseudo-random input streams re-seeded by seed. Seed 0 selects the
+// canonical inputs every historical figure was produced with; any other
+// value deterministically re-draws the input data, giving independent
+// workload instances for trace generation and variance studies.
+func Build(name string, scale int, seed uint64) (*program.Program, error) {
+	k, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	seedMix.Store(splitmix64(seed))
+	prog := k.Build(scale)
+	seedMix.Store(0)
+	return prog, nil
+}
+
+// splitmix64 decorrelates user seeds (0 maps to 0 so the canonical
+// streams stay untouched).
+func splitmix64(x uint64) uint64 {
+	if x == 0 {
+		return 0
+	}
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // lcg is a deterministic 64-bit linear congruential generator used to
 // synthesize input data (same constants as Knuth's MMIX).
 type lcg uint64
@@ -88,7 +135,7 @@ func (l *lcg) next() uint64 {
 
 // intSamples produces n pseudo-random int64 samples in [-amp, amp].
 func intSamples(seed uint64, n int, amp int64) []int64 {
-	l := lcg(seed)
+	l := lcg(seed ^ seedMix.Load())
 	out := make([]int64, n)
 	for i := range out {
 		out[i] = int64(l.next()%uint64(2*amp+1)) - amp
@@ -100,7 +147,7 @@ func intSamples(seed uint64, n int, amp int64) []int64 {
 // a ramp and noise), mimicking audio/image data that has exploitable
 // value locality.
 func smoothSamples(seed uint64, n int, amp int64) []int64 {
-	l := lcg(seed)
+	l := lcg(seed ^ seedMix.Load())
 	out := make([]int64, n)
 	acc := int64(0)
 	for i := range out {
@@ -118,7 +165,7 @@ func smoothSamples(seed uint64, n int, amp int64) []int64 {
 
 // floatSamples produces n pseudo-random float64 samples in [-1, 1).
 func floatSamples(seed uint64, n int) []float64 {
-	l := lcg(seed)
+	l := lcg(seed ^ seedMix.Load())
 	out := make([]float64, n)
 	for i := range out {
 		out[i] = float64(int64(l.next()>>11))/float64(1<<52) - 1.0

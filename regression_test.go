@@ -3,6 +3,9 @@
 package clustervp_test
 
 import (
+	"fmt"
+	"path/filepath"
+	"reflect"
 	"testing"
 
 	"clustervp"
@@ -211,5 +214,83 @@ func TestNonBusTopologiesRunEndToEnd(t *testing.T) {
 				t.Errorf("%v: %d transfers at impossible hop count %d", topo, n, h)
 			}
 		}
+	}
+}
+
+// TestTraceRoundTripGolden is the trace-subsystem golden grid: every
+// workload kernel, at two scales, is encoded to a .cvt file, decoded,
+// and replayed through the timing simulator — and the replay must
+// produce byte-identical stats.Results to the in-process generator.
+// Any divergence means the container dropped or distorted information
+// the timing model observes, which would silently invalidate every
+// trace-driven experiment.
+func TestTraceRoundTripGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite trace round trip in -short mode")
+	}
+	cfg := clustervp.Preset(2).WithVP(clustervp.VPStride)
+	dir := t.TempDir()
+	for _, kernel := range clustervp.Kernels() {
+		for _, scale := range []int{1, 2} {
+			prog, err := clustervp.BuildKernel(kernel, scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := clustervp.RunProgram(cfg, prog)
+			if err != nil {
+				t.Fatalf("%s@%d in-process: %v", kernel, scale, err)
+			}
+			path := filepath.Join(dir, fmt.Sprintf("%s-%d.cvt", kernel, scale))
+			if _, err := clustervp.WriteKernelTrace(path, kernel, scale, 0); err != nil {
+				t.Fatalf("%s@%d encode: %v", kernel, scale, err)
+			}
+			got, err := clustervp.RunTraceFile(cfg, path)
+			if err != nil {
+				t.Fatalf("%s@%d replay: %v", kernel, scale, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s@%d: trace replay diverged from in-process run:\n got %+v\nwant %+v",
+					kernel, scale, got, want)
+			}
+		}
+	}
+}
+
+// TestSeededTraceDiffers guards the -seed plumbing end to end: a
+// re-seeded kernel must produce a different value stream (different
+// predictor behaviour) while seed 0 reproduces the canonical one
+// exactly.
+func TestSeededTraceDiffers(t *testing.T) {
+	cfg := clustervp.Preset(2).WithVP(clustervp.VPStride)
+	dir := t.TempDir()
+	runSeed := func(seed uint64) clustervp.Results {
+		path := filepath.Join(dir, fmt.Sprintf("seed-%d.cvt", seed))
+		if _, err := clustervp.WriteKernelTrace(path, "cjpeg", 1, seed); err != nil {
+			t.Fatal(err)
+		}
+		r, err := clustervp.RunTraceFile(cfg, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	canonical := runSeed(0)
+	prog, err := clustervp.BuildKernel("cjpeg", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := clustervp.RunProgram(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(canonical, direct) {
+		t.Error("seed 0 trace does not reproduce the canonical run")
+	}
+	seeded := runSeed(12345)
+	if seeded.Instructions == 0 {
+		t.Fatal("seeded run committed nothing")
+	}
+	if reflect.DeepEqual(seeded.VP, canonical.VP) && seeded.Cycles == canonical.Cycles {
+		t.Error("seed 12345 produced a run indistinguishable from canonical; seeding is not reaching the input data")
 	}
 }
