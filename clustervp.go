@@ -36,8 +36,18 @@ import (
 // Config is the machine configuration (Table 1 presets plus knobs).
 type Config = config.Config
 
+// ClusterSpec sizes one cluster (issue widths, IQ, register file, FU
+// inventory, register ports, bypass latency). Config.Clusters holds one
+// spec per cluster, so machines may be heterogeneous; the paper's
+// presets are N copies of one spec.
+type ClusterSpec = config.ClusterSpec
+
 // Results is the statistics record of one simulation run.
 type Results = stats.Results
+
+// ClusterStats is the per-cluster dispatch/issue/occupancy breakdown
+// carried in Results.PerCluster.
+type ClusterStats = stats.ClusterStats
 
 // Steering scheme selectors (§3).
 const (
@@ -100,6 +110,20 @@ func ParseVP(name string) (config.VPKind, error) { return config.ParseVP(name) }
 
 // Preset returns the paper's Table 1 machine for 1, 2 or 4 clusters.
 func Preset(clusters int) Config { return config.Preset(clusters) }
+
+// FromSpecs builds a (possibly heterogeneous) machine from explicit
+// cluster specs on the Table 1 front end, with steering thresholds
+// scaled to the cluster count.
+func FromSpecs(specs ...ClusterSpec) Config { return config.FromSpecs(specs...) }
+
+// ParseClusterSpecs parses the compact machine description grammar
+// ("4w16q:2w8q:2w8q", with optional f/r/p/b overrides and xN repeats);
+// the error spells out the grammar.
+func ParseClusterSpecs(s string) ([]ClusterSpec, error) { return config.ParseClusterSpecs(s) }
+
+// DefaultSpec derives a full cluster spec from an integer issue width
+// and IQ size, the way the spec-string parser does.
+func DefaultSpec(width, iq int) ClusterSpec { return config.DefaultSpec(width, iq) }
 
 // Kernels lists the benchmark suite (Table 2 names).
 func Kernels() []string { return workload.Names() }

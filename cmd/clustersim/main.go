@@ -10,15 +10,17 @@
 //
 //	clustersim -kernel cjpeg -clusters 1                      # centralized
 //	clustersim -kernel cjpeg -clusters 4 -vp stride -steer vpb
+//	clustersim -kernel cjpeg -clusters 4w16q:2w8q:2w8q        # asymmetric big/LITTLE
 //	clustersim -kernel mpeg2enc -clusters 4 -commlat 4        # slow wires
 //	clustersim -kernel cjpeg -clusters 4 -topology mesh -paths 1
 //	clustersim -trace-in cjpeg.cvt -clusters 4 -vp stride     # replay a .cvt
 //	clustersim -kernel cjpeg -trace-out cjpeg.cvt             # record while simulating
 //
-// Unknown enum values (-vp, -steer, -topology) and unsupported -clusters
-// counts exit with status 2 and a message listing the valid choices.
-// Simulation failures — including corrupt or truncated trace files and
-// exceeded -maxcycles budgets — print the error to stderr and exit 1.
+// Unknown enum values (-vp, -steer, -topology) and unparsable -clusters
+// machine descriptions exit with status 2 and one shared message
+// listing the valid choices for every enum flag. Simulation failures —
+// including corrupt or truncated trace files and exceeded -maxcycles
+// budgets — print the error to stderr and exit 1.
 package main
 
 import (
@@ -38,12 +40,47 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// enumFlags describes every enumerated flag once, so a bad value on any
+// of them prints the valid choices for all of them — the user fixing
+// one flag usually needs the neighbours too.
+var enumFlags = []struct{ name, choices string }{
+	{"-clusters", "1, 2, 4 (Table 1 presets), or a cluster spec string like 4w16q:2w8q:2w8q"},
+	{"-vp", strings.Join(clustervp.VPs(), ", ")},
+	{"-steer", strings.Join(clustervp.Steerings(), ", ")},
+	{"-topology", strings.Join(clustervp.Topologies(), ", ")},
+}
+
+// printEnumHelp writes the shared valid-choices table.
+func printEnumHelp(w io.Writer) {
+	fmt.Fprintln(w, "valid enum flag values:")
+	for _, f := range enumFlags {
+		fmt.Fprintf(w, "  %-10s %s\n", f.name, f.choices)
+	}
+}
+
+// enumFlagNamed reports whether the flag-package error text names one
+// of the enum flags (e.g. "flag needs an argument: -vp" for a bare
+// flag at the end of the command line). Matching is per whitespace
+// token, not substring, so an error about -vptable does not read as
+// one about -vp.
+func enumFlagNamed(err error) bool {
+	for _, tok := range strings.Fields(err.Error()) {
+		tok = strings.TrimRight(tok, ":,")
+		for _, f := range enumFlags {
+			if tok == f.name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("clustersim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	kernel := fs.String("kernel", "gsmdec", "benchmark kernel (see -list)")
 	list := fs.Bool("list", false, "list available kernels and exit")
-	clusters := fs.Int("clusters", 4, "number of clusters (1, 2 or 4)")
+	clusters := fs.String("clusters", "4", "1, 2, 4 (presets) or a cluster spec string like 4w16q:2w8q:2w8q")
 	vp := fs.String("vp", "none", "value predictor: "+strings.Join(clustervp.VPs(), ", "))
 	steerKind := fs.String("steer", "baseline", "steering: "+strings.Join(clustervp.Steerings(), ", "))
 	topology := fs.String("topology", "bus", "interconnect topology: "+strings.Join(clustervp.Topologies(), ", "))
@@ -58,6 +95,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceOut := fs.String("trace-out", "", "record the simulated instruction stream into this .cvt file")
 	asJSON := fs.Bool("json", false, "emit the result as a single JSON object instead of text")
 	if err := fs.Parse(args); err != nil {
+		// A bare enum flag ("clustersim -vp") dies inside the flag
+		// package; still surface the shared choices table.
+		if enumFlagNamed(err) {
+			printEnumHelp(stderr)
+		}
 		return 2
 	}
 
@@ -65,6 +107,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(format string, a ...any) int {
 		fmt.Fprintf(stderr, format+"\n", a...)
 		fs.Usage()
+		return 2
+	}
+	// failEnum: a bad enumerated value; print the shared choices table
+	// (once, for all enum flags) instead of the full usage dump.
+	failEnum := func(flagName string, err error) int {
+		fmt.Fprintf(stderr, "invalid %s: %v\n", flagName, err)
+		printEnumHelp(stderr)
 		return 2
 	}
 
@@ -75,26 +124,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	if *clusters != 1 && *clusters != 2 && *clusters != 4 {
-		return fail("unsupported -clusters %d (valid: 1, 2, 4)", *clusters)
+	cfg, err := parseClusters(strings.TrimSpace(*clusters))
+	if err != nil {
+		return failEnum("-clusters", err)
 	}
 	vpKind, err := clustervp.ParseVP(strings.ToLower(*vp))
 	if err != nil {
-		return fail("invalid -vp: %v", err)
+		return failEnum("-vp", err)
 	}
 	steering, err := clustervp.ParseSteering(strings.ToLower(*steerKind))
 	if err != nil {
-		return fail("invalid -steer: %v", err)
+		return failEnum("-steer", err)
 	}
 	topo, err := clustervp.ParseTopology(strings.ToLower(*topology))
 	if err != nil {
-		return fail("invalid -topology: %v", err)
+		return failEnum("-topology", err)
 	}
 	if *traceIn != "" && *traceOut != "" {
 		return fail("-trace-in and -trace-out are mutually exclusive")
 	}
 
-	cfg := clustervp.Preset(*clusters).
+	cfg = cfg.
 		WithComm(*commlat, *paths).
 		WithVPTable(*vptable).
 		WithVP(vpKind).
@@ -102,6 +152,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		WithTopology(topo)
 	cfg.RenameCycles = *rename
 	cfg.MaxCycles = *maxCycles
+	// Whole-config validation catches bad values on the numeric flags
+	// (-commlat, -rename, -vptable, …) too; those are not enum errors,
+	// so report them neutrally rather than blaming -clusters.
+	if err := cfg.Validate(); err != nil {
+		return fail("invalid configuration: %v", err)
+	}
 
 	// sim error: valid command line but the run failed (corrupt trace,
 	// cycle budget, watchdog) — report on stderr, exit 1.
@@ -125,6 +181,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "benchmark            %s\n", r.Benchmark)
 	fmt.Fprintf(stdout, "configuration        %s (vp=%s steer=%s topology=%s commlat=%d paths=%d)\n",
 		cfg.Name, vpKind, steering, topo, *commlat, *paths)
+	fmt.Fprintf(stdout, "clusters             %d (%s)\n", cfg.NumClusters(), cfg.SpecString())
 	fmt.Fprintf(stdout, "cycles               %d\n", r.Cycles)
 	fmt.Fprintf(stdout, "instructions         %d\n", r.Instructions)
 	fmt.Fprintf(stdout, "IPC                  %.4f\n", r.IPC())
@@ -142,7 +199,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "cache misses         L1I=%d L1D=%d L2=%d\n", r.L1IMisses, r.L1DMisses, r.L2Misses)
 	fmt.Fprintf(stdout, "dispatch stalls      rob=%d iq=%d regs=%d\n",
 		r.DispatchStallROB, r.DispatchStallIQ, r.DispatchStallRegs)
+	for c, pc := range r.PerCluster {
+		fmt.Fprintf(stdout, "cluster %-2d %-12s dispatched=%d issued=%d copies-out=%d mean-iq-occ=%.2f\n",
+			c, pc.Spec, pc.Dispatched, pc.Issued, pc.CopiesOut, pc.MeanIQOcc(r.Cycles))
+	}
 	return 0
+}
+
+// parseClusters resolves the -clusters value: a Table 1 preset count or
+// a cluster spec string building an arbitrary (possibly asymmetric)
+// machine.
+func parseClusters(v string) (clustervp.Config, error) {
+	switch v {
+	case "1":
+		return clustervp.Preset(1), nil
+	case "2":
+		return clustervp.Preset(2), nil
+	case "4":
+		return clustervp.Preset(4), nil
+	}
+	specs, err := clustervp.ParseClusterSpecs(v)
+	if err != nil {
+		return clustervp.Config{}, err
+	}
+	return clustervp.FromSpecs(specs...), nil
 }
 
 // simulate routes the three instruction-stream modes: replay a .cvt

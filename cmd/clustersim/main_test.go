@@ -65,11 +65,106 @@ func TestBadEnumsExitTwo(t *testing.T) {
 		{"-steer", "sideways"},
 		{"-topology", "donut"},
 		{"-clusters", "3"},
+		{"-clusters", "4w16q:"},
 		{"-trace-in", "a.cvt", "-trace-out", "b.cvt"},
 	} {
 		if code, _, _ := cli(t, args...); code != 2 {
 			t.Errorf("%v exited %d, want 2", args, code)
 		}
+	}
+}
+
+// TestEnumErrorListsAllEnumChoices is the shared enum-help contract: a
+// bad or empty value on any one enum flag prints the valid choices for
+// every enum flag, exactly once.
+func TestEnumErrorListsAllEnumChoices(t *testing.T) {
+	cases := [][]string{
+		{"-vp", "psychic"},
+		{"-vp", ""}, // bare/empty value
+		{"-steer", "sideways"},
+		{"-steer", ""},
+		{"-topology", "donut"},
+		{"-clusters", "zebra"},
+		{"-vp"}, // flag with no argument at all
+	}
+	for _, args := range cases {
+		code, _, stderr := cli(t, args...)
+		if code != 2 {
+			t.Errorf("%v exited %d, want 2", args, code)
+			continue
+		}
+		for _, want := range []string{
+			"-clusters", "4w16q:2w8q:2w8q",
+			"-vp", "stride", "twodelta",
+			"-steer", "baseline", "vpb", "depfifo",
+			"-topology", "bus", "crossbar", "mesh",
+		} {
+			if !strings.Contains(stderr, want) {
+				t.Errorf("%v: stderr missing %q:\n%s", args, want, stderr)
+			}
+		}
+		if n := strings.Count(stderr, "valid enum flag values"); n != 1 {
+			t.Errorf("%v: enum help printed %d times, want exactly once:\n%s", args, n, stderr)
+		}
+	}
+}
+
+// TestNonEnumErrorsSkipEnumHelp: errors belonging to numeric flags must
+// not print the enum-choices table or blame -clusters.
+func TestNonEnumErrorsSkipEnumHelp(t *testing.T) {
+	for _, args := range [][]string{
+		{"-vptable", "foo"}, // flag-package parse error on a non-enum flag whose name prefixes -vp
+		{"-commlat", "0"},   // caught by whole-config validation
+		{"-rename", "0"},
+	} {
+		code, _, stderr := cli(t, args...)
+		if code != 2 {
+			t.Errorf("%v exited %d, want 2", args, code)
+		}
+		if strings.Contains(stderr, "valid enum flag values") {
+			t.Errorf("%v: non-enum error printed the enum help:\n%s", args, stderr)
+		}
+		if strings.Contains(stderr, "invalid -clusters") {
+			t.Errorf("%v: error misattributed to -clusters:\n%s", args, stderr)
+		}
+	}
+}
+
+// TestOversizedSpecRejected: spec strings cannot build machines past
+// the 32-cluster mask limit or smuggle in overflowing repeat counts.
+func TestOversizedSpecRejected(t *testing.T) {
+	for _, spec := range []string{"2w16qx34", "2w8qx4294967295", "2w8qx99999999999999999999"} {
+		code, _, stderr := cli(t, "-kernel", "cjpeg", "-clusters", spec)
+		if code != 2 {
+			t.Errorf("-clusters %s exited %d, want 2 (stderr: %s)", spec, code, stderr)
+		}
+	}
+}
+
+// TestAsymmetricSpecRuns drives a heterogeneous -clusters machine end
+// to end and checks the per-cluster breakdown reaches the JSON record.
+func TestAsymmetricSpecRuns(t *testing.T) {
+	code, stdout, stderr := cli(t,
+		"-kernel", "rawcaudio", "-clusters", "4w16q:2w8q:2w8q", "-vp", "stride", "-steer", "vpb", "-json")
+	if code != 0 {
+		t.Fatalf("asymmetric run exited %d: %s", code, stderr)
+	}
+	var rec runner.Record
+	if err := json.Unmarshal([]byte(stdout), &rec); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if rec.Clusters != 3 || rec.ClusterSpecs != "4w16q:2w8qx2" {
+		t.Errorf("record clusters = %d %q, want 3 clusters of 4w16q:2w8qx2", rec.Clusters, rec.ClusterSpecs)
+	}
+	if len(rec.PerCluster) != 3 {
+		t.Fatalf("per-cluster breakdown has %d entries, want 3", len(rec.PerCluster))
+	}
+	var total uint64
+	for _, c := range rec.PerCluster {
+		total += c.Dispatched
+	}
+	if total != rec.Instructions {
+		t.Errorf("per-cluster dispatched sums to %d, want %d committed instructions", total, rec.Instructions)
 	}
 }
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|fig2|fig3|fig4a|fig4b|fig5|rename2|mod|ext|topo]
+//	experiments [-exp all|fig2|fig3|fig4a|fig4b|fig5|rename2|mod|ext|topo|asym]
 //	            [-scale N] [-jobs N] [-out results.json]
 //
 // Each figure declares a grid of (configuration × kernel) jobs; all
@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"clustervp"
 	"clustervp/internal/config"
@@ -46,11 +47,11 @@ type experiment struct {
 var experiments = []experiment{
 	{"fig2", fig2}, {"fig3", fig3}, {"fig4a", fig4a}, {"fig4b", fig4b},
 	{"fig5", fig5}, {"rename2", rename2}, {"mod", mod}, {"ext", ext},
-	{"topo", topo},
+	{"topo", topo}, {"asym", asym},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, fig4a, fig4b, fig5, rename2, mod, ext, topo")
+	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, fig4a, fig4b, fig5, rename2, mod, ext, topo, asym")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	out := flag.String("out", "", "dump the full result grid to this file (.json or .csv)")
@@ -524,6 +525,72 @@ func ext(e *env) error {
 	for i := range vps {
 		agg := aggs[len(steers)+i]
 		t.Add(labels[len(steers)+i], f3(agg.IPC()), f3(agg.Imbalance()), f4(agg.CommPerInstr()), f3(agg.VP.HitRatio()))
+	}
+	fmt.Fprintln(e.out, t.String())
+	return nil
+}
+
+// asym is the heterogeneous-cluster sweep, an extension beyond the
+// paper: machines of equal total issue width but different cluster
+// shapes, with and without the paper's mechanism, measuring how the
+// capacity-weighted steering spreads work (per-cluster dispatch shares)
+// and what asymmetry costs or buys. The homogeneous 4-cluster preset
+// anchors the sweep.
+func asym(e *env) error {
+	type variant struct {
+		label string
+		cfg   clustervp.Config
+	}
+	withVP := func(c clustervp.Config) clustervp.Config {
+		return c.WithVP(clustervp.VPStride).WithSteering(clustervp.SteerVPB)
+	}
+	shapes := []struct{ label, spec string }{
+		{"4x2w (preset)", ""}, // Preset(4), the homogeneous reference
+		{"big.LITTLE 4+2+2", "4w16q:2w8qx2"},
+		{"dual-wide 2x4w", "4w16qx2"},
+		{"extreme 6+2", "6w24q:2w8q"},
+	}
+	var variants []variant
+	for _, s := range shapes {
+		base := clustervp.Preset(4)
+		if s.spec != "" {
+			specs, err := clustervp.ParseClusterSpecs(s.spec)
+			if err != nil {
+				return err
+			}
+			base = clustervp.FromSpecs(specs...)
+		}
+		variants = append(variants,
+			variant{s.label, base},
+			variant{s.label + " +vp", withVP(base)},
+		)
+	}
+	var labels []string
+	var cfgs []clustervp.Config
+	for _, v := range variants {
+		labels = append(labels, v.label)
+		cfgs = append(cfgs, v.cfg)
+	}
+	aggs, err := e.aggregates(labels, cfgs...)
+	if err != nil {
+		return err
+	}
+	t := stats.Table{
+		Title:  "Asymmetry sweep: equal-ish total width, different cluster shapes, suite aggregate",
+		Header: []string{"machine", "clusters", "IPC", "imbalance", "comm/instr", "dispatch-shares"},
+	}
+	for i, v := range variants {
+		agg := aggs[i]
+		shares := "-"
+		if ds := agg.DispatchShares(); ds != nil {
+			parts := make([]string, len(ds))
+			for j, s := range ds {
+				parts[j] = fmt.Sprintf("%.0f%%", 100*s)
+			}
+			shares = strings.Join(parts, "/")
+		}
+		t.Add(v.label, cfgs[i].SpecString(), f3(agg.IPC()), f3(agg.Imbalance()),
+			f4(agg.CommPerInstr()), shares)
 	}
 	fmt.Fprintln(e.out, t.String())
 	return nil

@@ -8,6 +8,10 @@
 // which hold their unit until completion. The issue stage asks TryIssue
 // once per candidate instruction per cycle; the cluster accounts width,
 // unit and divider occupancy and answers yes or no.
+//
+// Each Resources is built from one config.ClusterSpec, so on a
+// heterogeneous machine every cluster enforces its own widths, unit
+// inventory and register-port bound.
 package cluster
 
 import (
@@ -17,7 +21,7 @@ import (
 
 // Resources tracks one cluster's per-cycle issue state.
 type Resources struct {
-	cfg config.ClusterConfig
+	cfg config.ClusterSpec
 
 	// cycle the per-cycle counters refer to.
 	cycle int64
@@ -39,7 +43,7 @@ type Resources struct {
 }
 
 // New builds the resource tracker for one cluster.
-func New(cfg config.ClusterConfig) *Resources {
+func New(cfg config.ClusterSpec) *Resources {
 	return &Resources{
 		cfg:        cfg,
 		cycle:      -1,
@@ -47,6 +51,9 @@ func New(cfg config.ClusterConfig) *Resources {
 		fpDivBusy:  make([]int64, cfg.FUs.FPMulDiv),
 	}
 }
+
+// Spec returns the cluster's configuration.
+func (r *Resources) Spec() config.ClusterSpec { return r.cfg }
 
 // BeginCycle resets the per-cycle counters.
 func (r *Resources) BeginCycle(cycle int64) {
@@ -95,6 +102,12 @@ func (r *Resources) TryIssue(class isa.Class, latency int, pipelined bool) bool 
 }
 
 func (r *Resources) tryIssue(class isa.Class, latency int, pipelined bool, commit bool) bool {
+	// Register-file port bound: every issued instruction (copies
+	// included) occupies one read/write port pair; 0 means unbounded,
+	// the paper's model.
+	if p := r.cfg.RegPorts; p > 0 && r.intIssued+r.fpIssued >= p {
+		return false
+	}
 	f := r.cfg.FUs
 	switch class {
 	case isa.ClassNone:

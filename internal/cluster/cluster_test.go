@@ -10,7 +10,7 @@ import (
 func res4() *Resources {
 	// The paper's 4-cluster per-cluster resources: 2 int (1 mul/div),
 	// 1 fp (1 fp mul/div), issue 2 int / 1 fp.
-	return New(config.Preset(4).Cluster)
+	return New(config.Preset(4).Clusters[0])
 }
 
 func TestIssueWidthLimit(t *testing.T) {
@@ -177,7 +177,7 @@ func TestMemClassSharesIntResources(t *testing.T) {
 }
 
 func TestOneClusterResources(t *testing.T) {
-	r := New(config.Preset(1).Cluster) // 8 int (4 muldiv), 4 fp, 8/4 wide
+	r := New(config.Preset(1).Clusters[0]) // 8 int (4 muldiv), 4 fp, 8/4 wide
 	r.BeginCycle(0)
 	issued := 0
 	for r.TryIssue(isa.ClassIntALU, 1, true) {

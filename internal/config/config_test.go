@@ -23,7 +23,11 @@ func TestTable1Presets(t *testing.T) {
 		if err := cfg.Validate(); err != nil {
 			t.Fatalf("%d clusters: %v", c.clusters, err)
 		}
-		cl := cfg.Cluster
+		if cfg.NumClusters() != c.clusters || !cfg.Homogeneous() {
+			t.Fatalf("%dc: preset must be %d identical clusters, got %d (homogeneous=%v)",
+				c.clusters, c.clusters, cfg.NumClusters(), cfg.Homogeneous())
+		}
+		cl := cfg.Clusters[0]
 		if cl.IQSize != c.iq || cl.PhysRegs != c.regs {
 			t.Errorf("%dc: IQ/regs = %d/%d, want %d/%d", c.clusters, cl.IQSize, cl.PhysRegs, c.iq, c.regs)
 		}
@@ -82,17 +86,19 @@ func TestValidationCatchesBadConfigs(t *testing.T) {
 		return c
 	}
 	bad := []Config{
-		mk(func(c *Config) { c.Clusters = 0 }),
-		mk(func(c *Config) { c.Cluster.IQSize = 0 }),
-		mk(func(c *Config) { c.Cluster.FUs.IntMul = 3 }),
-		mk(func(c *Config) { c.Cluster.FUs.FPMulDiv = 2 }),
+		mk(func(c *Config) { c.Clusters = nil }),
+		mk(func(c *Config) { c.Clusters[0].IQSize = 0 }),
+		mk(func(c *Config) { c.Clusters[0].FUs.IntMul = 3 }),
+		mk(func(c *Config) { c.Clusters[0].FUs.FPMulDiv = 2 }),
+		mk(func(c *Config) { c.Clusters[3].RegPorts = -1 }),
+		mk(func(c *Config) { c.Clusters[3].BypassLatency = -2 }),
 		mk(func(c *Config) { c.RetireWidth = 0 }),
 		mk(func(c *Config) { c.RenameCycles = 0 }),
 		mk(func(c *Config) { c.CommLatency = 0 }),
 		mk(func(c *Config) { c.CommPaths = -1 }),
 		mk(func(c *Config) { c.DCachePorts = 0 }),
 		mk(func(c *Config) { c.VP = VPStride; c.VPTableEntries = 100 }),
-		mk(func(c *Config) { c.Cluster.PhysRegs = 4 }),
+		mk(func(c *Config) { c.Clusters[0].PhysRegs = 4 }),
 		mk(func(c *Config) { c.Topology = interconnect.Kind(99) }),
 	}
 	for i, c := range bad {
@@ -138,6 +144,148 @@ func TestTopologyPlumbing(t *testing.T) {
 	if ic != want {
 		t.Errorf("Interconnect() = %+v, want %+v", ic, want)
 	}
+}
+
+func TestParseClusterSpecs(t *testing.T) {
+	specs, err := ParseClusterSpecs("4w16q:2w8q:2w8q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("parsed %d specs, want 3", len(specs))
+	}
+	if specs[0] != DefaultSpec(4, 16) || specs[1] != DefaultSpec(2, 8) || specs[2] != specs[1] {
+		t.Errorf("specs = %+v", specs)
+	}
+
+	// Overrides and repeat counts.
+	specs, err = ParseClusterSpecs("8w64qf4r128p6b1:2w8qx3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("parsed %d specs, want 4", len(specs))
+	}
+	big := specs[0]
+	if big.IssueInt != 8 || big.IQSize != 64 || big.IssueFP != 4 || big.PhysRegs != 128 ||
+		big.RegPorts != 6 || big.BypassLatency != 1 {
+		t.Errorf("override spec = %+v", big)
+	}
+	for i := 1; i < 4; i++ {
+		if specs[i] != DefaultSpec(2, 8) {
+			t.Errorf("repeat %d = %+v", i, specs[i])
+		}
+	}
+
+	for _, bad := range []string{
+		"", "4w", "w16q", "4w16q:", "zebra", "4w16qx0", "4w16q;2w8q",
+		// Bounded: repeat counts past MaxClusters (or overflowing Atoi),
+		// cluster totals past MaxClusters, absurd widths.
+		"2w8qx33", "2w8qx4294967295", "2w8qx99999999999999999999",
+		"2w8qx16:2w8qx17", "9999w8q", "2w8qf0", "2w8qp0", "0w8q",
+	} {
+		if _, err := ParseClusterSpecs(bad); err == nil {
+			t.Errorf("ParseClusterSpecs(%q) must fail", bad)
+		}
+	}
+	// MaxClusters itself is fine and validates.
+	specs32, err := ParseClusterSpecs("2w8qx32")
+	if err != nil {
+		t.Fatalf("32 clusters must parse: %v", err)
+	}
+	if err := FromSpecs(specs32...).Validate(); err != nil {
+		t.Errorf("32-cluster machine must validate: %v", err)
+	}
+	if err := FromSpecs(repeatSpec(DefaultSpec(2, 8), 33)...).Validate(); err == nil {
+		t.Error("33-cluster machine must be rejected (uint32 steering masks)")
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	// Canonical strings reproduce themselves literally…
+	for _, s := range []string{"4w16q:2w8qx2", "2w16qr56x4", "8w64qf3r100p6b1"} {
+		specs, err := ParseClusterSpecs(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if got := SpecsString(specs); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+	// …and non-canonical ones (default-valued suffixes, expanded
+	// repeats) re-parse to the same machine.
+	for _, s := range []string{"8w64qf4r128p6b1", "2w8q:2w8q"} {
+		specs, err := ParseClusterSpecs(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		again, err := ParseClusterSpecs(SpecsString(specs))
+		if err != nil || len(again) != len(specs) {
+			t.Fatalf("canonical form of %q does not re-parse: %v", s, err)
+		}
+		for i := range specs {
+			if specs[i] != again[i] {
+				t.Errorf("%q: canonicalization changed cluster %d: %+v -> %+v", s, i, specs[i], again[i])
+			}
+		}
+	}
+	// The 4-cluster preset renders as a parsable spec string and
+	// round-trips to the same machine shape.
+	p4 := Preset(4)
+	specs, err := ParseClusterSpecs(p4.SpecString())
+	if err != nil {
+		t.Fatalf("preset spec string %q does not parse: %v", p4.SpecString(), err)
+	}
+	if len(specs) != 4 || specs[0].IssueInt != 2 || specs[0].IQSize != 16 || specs[0].PhysRegs != 56 {
+		t.Errorf("preset spec string %q parsed to %+v", p4.SpecString(), specs)
+	}
+}
+
+func TestFromSpecsAndBuilders(t *testing.T) {
+	cfg := FromSpecs(DefaultSpec(4, 16), DefaultSpec(2, 8), DefaultSpec(2, 8))
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumClusters() != 3 || cfg.Homogeneous() {
+		t.Errorf("asymmetric machine: n=%d homogeneous=%v", cfg.NumClusters(), cfg.Homogeneous())
+	}
+	if cfg.BalanceThreshold != 24 || cfg.VPBThreshold != 12 {
+		t.Errorf("thresholds = %d/%d, want 8N/4N = 24/12", cfg.BalanceThreshold, cfg.VPBThreshold)
+	}
+	if cfg.Name != "4w16q:2w8qx2" {
+		t.Errorf("name = %q", cfg.Name)
+	}
+	if w := cfg.IssueWeights(); len(w) != 3 || w[0] != 6 || w[1] != 3 || w[2] != 3 {
+		t.Errorf("issue weights = %v", w)
+	}
+
+	// WithAsymmetry builds the same machine from the spec string.
+	viaString := Preset(4).WithAsymmetry("4w16q:2w8q:2w8q")
+	if viaString.NumClusters() != 3 || viaString.Clusters[0] != cfg.Clusters[0] {
+		t.Errorf("WithAsymmetry = %+v", viaString.Clusters)
+	}
+	// The front end (fetch/retire widths, caches, VP table) rides along.
+	if viaString.FetchWidth != 8 || viaString.DCachePorts != 3 {
+		t.Error("WithAsymmetry must keep the base front end")
+	}
+
+	// WithClusterSpecs clones: mutating the argument afterwards must not
+	// alias the config.
+	arg := []ClusterSpec{DefaultSpec(2, 8), DefaultSpec(2, 8)}
+	c2 := Preset(2).WithClusterSpecs(arg...)
+	arg[0].IQSize = 99
+	if c2.Clusters[0].IQSize == 99 {
+		t.Error("WithClusterSpecs must copy the specs")
+	}
+}
+
+func TestWithAsymmetryPanicsOnBadSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WithAsymmetry on a malformed spec must panic")
+		}
+	}()
+	Preset(4).WithAsymmetry("not-a-spec")
 }
 
 func TestParsersRoundTrip(t *testing.T) {

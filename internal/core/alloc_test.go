@@ -12,16 +12,15 @@ import (
 	"clustervp/internal/workload"
 )
 
-// steadySim builds a 4-cluster VPB simulator on a real kernel and warms
-// it past the allocation transient (scratch slices, pendingVerifs and
+// steadySimCfg builds a simulator for cfg on a real kernel and warms it
+// past the allocation transient (scratch slices, pendingVerifs and
 // activeStores growing to their steady capacity, ring deps warming up).
-func steadySim(t testing.TB, scale int) *Sim {
+func steadySimCfg(t testing.TB, cfg config.Config, scale int) *Sim {
 	t.Helper()
 	k, err := workload.ByName("gsmenc")
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := config.Preset(4).WithVP(config.VPStride).WithSteering(config.SteerVPB)
 	s, err := New(cfg, k.Build(scale))
 	if err != nil {
 		t.Fatal(err)
@@ -33,6 +32,24 @@ func steadySim(t testing.TB, scale int) *Sim {
 		}
 	}
 	return s
+}
+
+// steadySim is steadySimCfg on the paper's 4-cluster VPB machine.
+func steadySim(t testing.TB, scale int) *Sim {
+	t.Helper()
+	return steadySimCfg(t, config.Preset(4).WithVP(config.VPStride).WithSteering(config.SteerVPB), scale)
+}
+
+// asymCfg is a heterogeneous machine (one wide cluster, two narrow
+// slow-bypass ones) exercising per-spec IQ limits, capacity-weighted
+// steering, register-port gating and bypass latency in the hot loop.
+func asymCfg() config.Config {
+	wide := config.DefaultSpec(4, 32)
+	narrow := config.DefaultSpec(2, 8)
+	narrow.BypassLatency = 1
+	narrow.RegPorts = 3
+	return config.FromSpecs(wide, narrow, narrow).
+		WithVP(config.VPStride).WithSteering(config.SteerVPB)
 }
 
 // TestSteadyStateAllocFree is the tentpole assertion: once warm, the
@@ -127,22 +144,51 @@ func TestDepsCapacityReused(t *testing.T) {
 	}
 }
 
-// BenchmarkSimSteadyState measures the per-cycle cost of the warm
-// simulator; the acceptance criterion is 0 allocs/op. Construction and
-// warmup run outside the timer.
-func BenchmarkSimSteadyState(b *testing.B) {
-	s := steadySim(b, 200)
+// TestSteadyStateAllocFreeAsym extends the allocation-freedom claim to
+// heterogeneous machines: per-cluster IQ sizes, weighted steering,
+// register ports and bypass latency must not reintroduce allocations.
+func TestSteadyStateAllocFreeAsym(t *testing.T) {
+	s := steadySimCfg(t, asymCfg(), 20)
+	cycle := int64(5000)
+	avg := testing.AllocsPerRun(100, func() {
+		s.step(cycle)
+		cycle++
+	})
+	if avg != 0 {
+		t.Errorf("asymmetric steady-state step allocates %.2f objects/cycle, want 0", avg)
+	}
+	if s.drained() {
+		t.Fatal("trace drained during measurement; the steady-state claim is vacuous")
+	}
+}
+
+// benchSteadyState is the shared body of the steady-state benchmarks.
+func benchSteadyState(b *testing.B, cfg config.Config) {
+	s := steadySimCfg(b, cfg, 200)
 	b.ReportAllocs()
 	b.ResetTimer()
 	cycle := int64(5000)
 	for i := 0; i < b.N; i++ {
 		if s.drained() {
 			b.StopTimer()
-			s = steadySim(b, 200)
+			s = steadySimCfg(b, cfg, 200)
 			cycle = 5000
 			b.StartTimer()
 		}
 		s.step(cycle)
 		cycle++
 	}
+}
+
+// BenchmarkSimSteadyState measures the per-cycle cost of the warm
+// simulator; the acceptance criterion is 0 allocs/op. Construction and
+// warmup run outside the timer.
+func BenchmarkSimSteadyState(b *testing.B) {
+	benchSteadyState(b, config.Preset(4).WithVP(config.VPStride).WithSteering(config.SteerVPB))
+}
+
+// BenchmarkSimSteadyStateAsym is the same gate on a heterogeneous
+// machine; CI requires 0 allocs/op here too.
+func BenchmarkSimSteadyStateAsym(b *testing.B) {
+	benchSteadyState(b, asymCfg())
 }

@@ -1,11 +1,12 @@
 // Package core is the cycle-driven timing simulator of the paper's §2
 // microarchitecture: an 8-way out-of-order superscalar with a 6-stage
 // pipeline (fetch, decode/rename/steer, issue, execute, writeback,
-// commit), clustered into 1, 2 or 4 homogeneous clusters, with on-demand
-// copy instructions for inter-cluster communication, stride value
-// prediction of source operands with producer-side verification and
-// verification-copies, selective invalidation/reissue, and the Baseline /
-// Modified / VPB steering schemes.
+// commit), clustered into N homogeneous or heterogeneous clusters (each
+// sized by its own config.ClusterSpec), with on-demand copy instructions
+// for inter-cluster communication, stride value prediction of source
+// operands with producer-side verification and verification-copies,
+// selective invalidation/reissue, and the Baseline / Modified / VPB
+// steering schemes (capacity-weighted on asymmetric machines).
 //
 // The simulator is trace-driven: it consumes the dynamic instruction
 // stream (with real operand values) produced by internal/trace. Control

@@ -33,7 +33,7 @@ func TestInvalidConfigRejected(t *testing.T) {
 		t.Error("zero comm latency must be rejected")
 	}
 	bad2 := config.Preset(4)
-	bad2.Cluster.FUs.IntMul = 99
+	bad2.Clusters[0].FUs.IntMul = 99
 	if _, err := New(bad2, k.Build(1)); err == nil {
 		t.Error("mul units exceeding int units must be rejected")
 	}
@@ -235,6 +235,86 @@ func TestRingSlowerThanUnboundedBus(t *testing.T) {
 	}
 	if ring.MeanHops() <= 1 {
 		t.Errorf("4-cluster ring mean hops = %.2f, must exceed 1", ring.MeanHops())
+	}
+}
+
+func TestAsymmetricMachinesCommitExactCount(t *testing.T) {
+	// Heterogeneous machines change timing only: under any spec mix,
+	// every steering scheme, with and without VP, exactly the trace's
+	// instruction count must commit, and the per-cluster dispatch
+	// breakdown must account for every instruction.
+	k, _ := workload.ByName("cjpeg")
+	e := trace.NewExecutor(k.Build(1))
+	want, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := [][]config.ClusterSpec{
+		{config.DefaultSpec(4, 16), config.DefaultSpec(2, 8), config.DefaultSpec(2, 8)},
+		{config.DefaultSpec(8, 64), config.DefaultSpec(2, 8)},
+		{
+			func() config.ClusterSpec { s := config.DefaultSpec(2, 16); s.BypassLatency = 2; return s }(),
+			func() config.ClusterSpec { s := config.DefaultSpec(2, 16); s.RegPorts = 2; return s }(),
+			config.DefaultSpec(4, 16),
+		},
+	}
+	for si, sp := range specs {
+		for _, kind := range []config.SteeringKind{
+			config.SteerBaseline, config.SteerVPB, config.SteerRoundRobin,
+			config.SteerLoadOnly, config.SteerDepFIFO, config.SteerModified,
+		} {
+			cfg := config.FromSpecs(sp...).WithSteering(kind)
+			if kind == config.SteerVPB || kind == config.SteerModified {
+				cfg = cfg.WithVP(config.VPStride)
+			}
+			r := run(t, cfg, k.Build(1))
+			if r.Instructions != want {
+				t.Errorf("specs %d, %v: committed %d, want %d", si, kind, r.Instructions, want)
+			}
+			var dispatched uint64
+			for _, pc := range r.PerCluster {
+				dispatched += pc.Dispatched
+			}
+			if dispatched != want {
+				t.Errorf("specs %d, %v: per-cluster dispatched sums to %d, want %d", si, kind, dispatched, want)
+			}
+		}
+	}
+}
+
+func TestBypassLatencySlowsCluster(t *testing.T) {
+	// A machine whose clusters all pay extra bypass cycles must be
+	// slower than the identical machine with single-cycle bypass.
+	k, _ := workload.ByName("gsmenc")
+	fast := config.FromSpecs(config.DefaultSpec(2, 16), config.DefaultSpec(2, 16))
+	slowSpec := config.DefaultSpec(2, 16)
+	slowSpec.BypassLatency = 2
+	slow := config.FromSpecs(slowSpec, slowSpec)
+	rf := run(t, fast, k.Build(1))
+	rs := run(t, slow, k.Build(1))
+	if rs.Cycles <= rf.Cycles {
+		t.Errorf("bypass latency 2 cannot be free: %d cycles vs %d", rs.Cycles, rf.Cycles)
+	}
+	if rs.Instructions != rf.Instructions {
+		t.Errorf("bypass latency changed committed count: %d vs %d", rs.Instructions, rf.Instructions)
+	}
+}
+
+func TestRegPortsGateIssue(t *testing.T) {
+	// Capping a cluster's register ports below its issue width must
+	// cost cycles on a wide machine, never instructions.
+	k, _ := workload.ByName("cjpeg")
+	open := config.FromSpecs(config.DefaultSpec(8, 64))
+	capped8 := config.DefaultSpec(8, 64)
+	capped8.RegPorts = 2
+	capped := config.FromSpecs(capped8)
+	ro := run(t, open, k.Build(1))
+	rc := run(t, capped, k.Build(1))
+	if rc.Cycles <= ro.Cycles {
+		t.Errorf("2 register ports on an 8-wide cluster cannot be free: %d cycles vs %d", rc.Cycles, ro.Cycles)
+	}
+	if rc.Instructions != ro.Instructions {
+		t.Errorf("register-port cap changed committed count: %d vs %d", rc.Instructions, ro.Instructions)
 	}
 }
 

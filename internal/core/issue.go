@@ -5,15 +5,16 @@ package core
 // functional units, memory operations share the L1D ports, and copies
 // reserve inter-cluster buses like any other resource (§2.1).
 func (s *Sim) issue(now int64) {
-	for _, r := range s.res {
+	for c, r := range s.res {
 		r.BeginCycle(now)
+		s.out.PerCluster[c].IQOccSum += uint64(s.iqCount[c])
 	}
 	dports := s.cfg.DCachePorts
 
 	// Per-cluster count of ready instructions denied by width/FU limits,
 	// for the NREADY imbalance metric (§2.3.2); the slices are Sim-owned
 	// scratch, zeroed here rather than reallocated every cycle.
-	nc := s.cfg.Clusters
+	nc := len(s.res)
 	excessInt, excessFP := s.excessInt, s.excessFP
 	for c := range excessInt {
 		excessInt[c], excessFP[c] = 0, 0
@@ -87,12 +88,14 @@ func (s *Sim) issue(now int64) {
 			if dports > 0 {
 				dports--
 			}
+			// Loads write registers, so their results ride the same local
+			// bypass network as ALU results and pay the same extra cycles.
 			if fwd != nil {
 				// Store-to-load forwarding through the store queue.
-				e.doneTime = now + 1
+				e.doneTime = now + 1 + s.bypass[cl]
 				fwd.deps = append(fwd.deps, ref(e))
 			} else {
-				e.doneTime = now + 1 + int64(s.caches.DataAccess(e.addr))
+				e.doneTime = now + 1 + int64(s.caches.DataAccess(e.addr)) + s.bypass[cl]
 			}
 		case e.isStore:
 			if dports > 0 {
@@ -102,7 +105,11 @@ func (s *Sim) issue(now int64) {
 			s.caches.DataAccess(e.addr)
 			e.doneTime = now + 1
 		default:
-			e.doneTime = now + int64(e.lat)
+			// BypassLatency models a deeper local bypass network: the
+			// result exists at now+lat but consumers (including copies
+			// reading it for export) see it that many cycles later. The
+			// paper's machines have a full single-cycle bypass (0 extra).
+			e.doneTime = now + int64(e.lat) + s.bypass[cl]
 		}
 		s.iqCount[cl]--
 	}

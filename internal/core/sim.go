@@ -48,6 +48,11 @@ type Sim struct {
 	str    steer.Chooser
 	table  *rename.Table[eref]
 	res    []*cluster.Resources
+	// Per-cluster constants hoisted out of the spec slice so the hot
+	// loop never chases cfg.Clusters[c]: IQ sizes for the dispatch
+	// structural check and extra bypass cycles for result visibility.
+	iqSize []int
+	bypass []int64
 
 	// ROB ring.
 	ring     [ringCap]entry
@@ -105,17 +110,20 @@ func NewFromSource(cfg config.Config, src trace.Source, benchmark string) (*Sim,
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	nc := cfg.NumClusters()
 	s := &Sim{
 		cfg:           cfg,
 		src:           src,
 		bp:            bpred.NewUnit(bpred.NewPaperCombined()),
-		bal:           steer.NewBalancer(cfg.Clusters),
-		table:         rename.New[eref](cfg.Clusters, cfg.Cluster.PhysRegs),
-		iqCount:       make([]int, cfg.Clusters),
-		iqNeed:        make([]int, cfg.Clusters),
-		regNeed:       make([]int, cfg.Clusters),
-		excessInt:     make([]int, cfg.Clusters),
-		excessFP:      make([]int, cfg.Clusters),
+		bal:           steer.NewWeightedBalancer(cfg.IssueWeights()),
+		table:         rename.New[eref](cfg.PhysRegsPerCluster()),
+		iqCount:       make([]int, nc),
+		iqSize:        make([]int, nc),
+		bypass:        make([]int64, nc),
+		iqNeed:        make([]int, nc),
+		regNeed:       make([]int, nc),
+		excessInt:     make([]int, nc),
+		excessFP:      make([]int, nc),
 		lastFetchLine: -1,
 	}
 	switch cfg.Steering {
@@ -151,9 +159,14 @@ func NewFromSource(cfg config.Config, src trace.Source, benchmark string) (*Sim,
 		s.caches = s.hier
 	}
 	s.net = interconnect.New(cfg.Interconnect())
-	s.res = make([]*cluster.Resources, cfg.Clusters)
+	s.res = make([]*cluster.Resources, nc)
+	s.out.PerCluster = make([]stats.ClusterStats, nc)
 	for c := range s.res {
-		s.res[c] = cluster.New(cfg.Cluster)
+		spec := cfg.Clusters[c]
+		s.res[c] = cluster.New(spec)
+		s.iqSize[c] = spec.IQSize
+		s.bypass[c] = int64(spec.BypassLatency)
+		s.out.PerCluster[c].Spec = spec.SpecString()
 	}
 	s.out.Config = cfg.Name
 	s.out.Benchmark = benchmark
@@ -227,6 +240,9 @@ func (s *Sim) Run() (stats.Results, error) {
 	s.out.Topology = s.cfg.Topology.String()
 	s.out.BusTransfers = ist.Transfers
 	s.out.HopHistogram = ist.Hops
+	for c, r := range s.res {
+		s.out.PerCluster[c].Issued = r.IssuedTotal
+	}
 	if s.hier != nil {
 		s.out.L1IMisses = s.hier.L1I.Misses
 		s.out.L1DMisses = s.hier.L1D.Misses
@@ -469,8 +485,8 @@ func (s *Sim) dispatchOne(now int64, f *fetched) bool {
 			regNeed[cl]++ // plain copies allocate the value's register in the consumer cluster
 		}
 	}
-	for c := 0; c < s.cfg.Clusters; c++ {
-		if s.iqCount[c]+iqNeed[c] > s.cfg.Cluster.IQSize {
+	for c := 0; c < len(s.iqCount); c++ {
+		if s.iqCount[c]+iqNeed[c] > s.iqSize[c] {
 			s.out.DispatchStallIQ++
 			return false
 		}
@@ -530,6 +546,7 @@ func (s *Sim) dispatchOne(now int64, f *fetched) bool {
 			}
 			s.iqCount[home]++
 			s.out.VerifyCopies++
+			s.out.PerCluster[home].CopiesOut++
 			consumerSrcs[i].predicted = true
 			consumerSrcs[i].predCorrect = v.correct
 			verifs = append(verifs, verification{opIdx: i, provider: ref(vc), remote: true, correct: v.correct})
@@ -555,6 +572,7 @@ func (s *Sim) dispatchOne(now int64, f *fetched) bool {
 			}
 			s.iqCount[home]++
 			s.out.Copies++
+			s.out.PerCluster[home].CopiesOut++
 			consumerSrcs[i].provider = ref(cp)
 		}
 	}
@@ -604,6 +622,7 @@ func (s *Sim) dispatchOne(now int64, f *fetched) bool {
 	}
 	s.iqCount[cl]++
 	s.bal.Dispatched(cl)
+	s.out.PerCluster[cl].Dispatched++
 
 	if f.mispred {
 		s.blockingBranch = ref(e)

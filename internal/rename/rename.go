@@ -73,12 +73,14 @@ type Table[P any] struct {
 	spare [][]int
 }
 
-// New builds a map table for the given cluster count and per-cluster
-// physical register file size. Initially every logical register is
+// New builds a map table with one field column and one free list per
+// cluster; physRegs[c] sizes cluster c's register file (clusters may
+// differ on heterogeneous machines). Initially every logical register is
 // architecturally ready, mapped in its home cluster reg%clusters (one
 // physical register each, consumed from that cluster's free list), which
 // spreads the initial state like the paper's dynamic scheme would settle.
-func New[P any](clusters, physRegsPerCluster int) *Table[P] {
+func New[P any](physRegs []int) *Table[P] {
+	clusters := len(physRegs)
 	if clusters < 1 {
 		panic("rename: clusters must be >= 1")
 	}
@@ -89,7 +91,7 @@ func New[P any](clusters, physRegsPerCluster int) *Table[P] {
 		free:     make([]*FreeList, clusters),
 	}
 	for c := range t.free {
-		t.free[c] = NewFreeList(physRegsPerCluster)
+		t.free[c] = NewFreeList(physRegs[c])
 	}
 	for r := range t.fields {
 		t.fields[r] = make([]Mapping[P], clusters)

@@ -7,8 +7,18 @@ import (
 	"clustervp/internal/isa"
 )
 
+// uniform sizes n identical per-cluster register files, the homogeneous
+// shape most tests use.
+func uniform(n, regs int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = regs
+	}
+	return out
+}
+
 func TestInitialStateMappedRoundRobin(t *testing.T) {
-	tb := New[int](4, 56)
+	tb := New[int](uniform(4, 56))
 	for r := 0; r < isa.NumRegs; r++ {
 		reg := isa.RegID(r)
 		want := r % 4
@@ -34,7 +44,7 @@ func TestInitialStateMappedRoundRobin(t *testing.T) {
 func TestRenameFigure1Sequence(t *testing.T) {
 	// Reproduce the paper's Figure 1: I1 writes Rx in cluster n; I2 reads
 	// Rx from cluster m (copy); I3 rewrites Rx, freeing the generation.
-	tb := New[string](2, 80)
+	tb := New[string](uniform(2, 80))
 	rx := isa.R5
 	n, m := 0, 1
 
@@ -90,7 +100,7 @@ func TestRenameFigure1Sequence(t *testing.T) {
 }
 
 func TestRenameFailsWhenExhausted(t *testing.T) {
-	tb := New[int](2, 40) // 32 consumed by initial state of each cluster's share
+	tb := New[int](uniform(2, 40)) // 32 consumed by initial state of each cluster's share
 	// Cluster 0 starts with 40-32 = 8 free.
 	free := tb.FreeRegs(0)
 	for i := 0; i < free; i++ {
@@ -108,7 +118,7 @@ func TestRenameFailsWhenExhausted(t *testing.T) {
 }
 
 func TestR0NeverRenamed(t *testing.T) {
-	tb := New[int](2, 80)
+	tb := New[int](uniform(2, 80))
 	before := tb.FreeRegs(0)
 	freeAtCommit, ok := tb.Rename(isa.R0, 0, 7)
 	if !ok || freeAtCommit != nil {
@@ -120,7 +130,7 @@ func TestR0NeverRenamed(t *testing.T) {
 }
 
 func TestAddCopyPanicsOnDoubleMap(t *testing.T) {
-	tb := New[int](2, 80)
+	tb := New[int](uniform(2, 80))
 	tb.Rename(isa.R3, 0, 1)
 	tb.AddCopy(isa.R3, 1, 2)
 	defer func() {
@@ -132,7 +142,7 @@ func TestAddCopyPanicsOnDoubleMap(t *testing.T) {
 }
 
 func TestSetProvider(t *testing.T) {
-	tb := New[int](2, 80)
+	tb := New[int](uniform(2, 80))
 	tb.Rename(isa.R3, 0, 42)
 	tb.SetProvider(isa.R3, 0, 0)
 	if got := tb.Lookup(isa.R3, 0); !got.Valid || got.Provider != 0 {
@@ -167,7 +177,7 @@ func TestRegisterConservationProperty(t *testing.T) {
 	}
 	f := func(ops []op) bool {
 		const per = 56
-		tb := New[int](4, per)
+		tb := New[int](uniform(4, per))
 		var pendingFrees [][]int
 		for _, o := range ops {
 			r := isa.RegID(o.Reg % isa.NumRegs)
@@ -215,7 +225,7 @@ func TestRegisterConservationProperty(t *testing.T) {
 // must come back fully zeroed — stale counts would double-free physical
 // registers and blow the conservation invariant.
 func TestFreeAtCommitSliceRecycling(t *testing.T) {
-	tb := New[int](2, 40)
+	tb := New[int](uniform(2, 40))
 	fr1, ok := tb.Rename(isa.R5, 0, 1) // writer: R5's old mapping dies at commit
 	if !ok || fr1 == nil {
 		t.Fatal("first rename failed")

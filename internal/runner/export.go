@@ -7,6 +7,7 @@ package runner
 import (
 	"encoding/csv"
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"strconv"
@@ -19,16 +20,20 @@ import (
 // the job identity, the knobs that distinguish grid points, the raw
 // counters and the derived metrics.
 type Record struct {
-	Config   string `json:"config"`
-	Kernel   string `json:"kernel"`
-	Scale    int    `json:"scale"`
-	Clusters int    `json:"clusters"`
-	VP       string `json:"vp"`
-	Steering string `json:"steering"`
-	CommLat  int    `json:"comm_latency"`
-	CommBW   int    `json:"comm_paths"`
-	Topology string `json:"topology"`
-	VPTable  int    `json:"vp_table_entries"`
+	Config string `json:"config"`
+	Kernel string `json:"kernel"`
+	Scale  int    `json:"scale"`
+	// Clusters is the cluster count; ClusterSpecs the per-cluster shape
+	// in the config spec-string grammar (repeats collapsed), which is
+	// how asymmetric grid points are told apart.
+	Clusters     int    `json:"clusters"`
+	ClusterSpecs string `json:"cluster_specs"`
+	VP           string `json:"vp"`
+	Steering     string `json:"steering"`
+	CommLat      int    `json:"comm_latency"`
+	CommBW       int    `json:"comm_paths"`
+	Topology     string `json:"topology"`
+	VPTable      int    `json:"vp_table_entries"`
 
 	Cycles       int64  `json:"cycles"`
 	Instructions uint64 `json:"instructions"`
@@ -38,6 +43,10 @@ type Record struct {
 
 	stats.Derived
 
+	// PerCluster is the per-cluster dispatch/issue/occupancy breakdown
+	// (omitted for failed jobs).
+	PerCluster []stats.ClusterStats `json:"per_cluster,omitempty"`
+
 	Err string `json:"error,omitempty"`
 }
 
@@ -45,16 +54,17 @@ type Record struct {
 func ToRecord(r Result) Record {
 	c := r.Job.Config
 	rec := Record{
-		Config:   displayName(c),
-		Kernel:   r.Job.Kernel,
-		Scale:    r.Job.EffectiveScale(),
-		Clusters: c.Clusters,
-		VP:       c.VP.String(),
-		Steering: c.Steering.String(),
-		CommLat:  c.CommLatency,
-		CommBW:   c.CommPaths,
-		Topology: c.Topology.String(),
-		VPTable:  c.VPTableEntries,
+		Config:       displayName(c),
+		Kernel:       r.Job.Kernel,
+		Scale:        r.Job.EffectiveScale(),
+		Clusters:     c.NumClusters(),
+		ClusterSpecs: c.SpecString(),
+		VP:           c.VP.String(),
+		Steering:     c.Steering.String(),
+		CommLat:      c.CommLatency,
+		CommBW:       c.CommPaths,
+		Topology:     c.Topology.String(),
+		VPTable:      c.VPTableEntries,
 	}
 	if r.Err != nil {
 		rec.Err = r.Err.Error()
@@ -66,6 +76,7 @@ func ToRecord(r Result) Record {
 	rec.BusStalls = r.Res.BusStalls
 	rec.Reissues = r.Res.Reissues
 	rec.Derived = r.Res.Derived()
+	rec.PerCluster = r.Res.PerCluster
 	return rec
 }
 
@@ -87,23 +98,36 @@ func WriteJSON(w io.Writer, rs []Result) error {
 
 // csvHeader matches csvRow field for field.
 var csvHeader = []string{
-	"config", "kernel", "scale", "clusters", "vp", "steering",
+	"config", "kernel", "scale", "clusters", "cluster_specs", "vp", "steering",
 	"comm_latency", "comm_paths", "topology", "vp_table_entries",
 	"cycles", "instructions", "bus_transfers", "bus_stalls", "reissues",
 	"ipc", "comm_per_instr", "imbalance", "mean_hops", "branch_accuracy",
-	"vp_hit_ratio", "vp_confident_fraction", "error",
+	"vp_hit_ratio", "vp_confident_fraction", "per_cluster", "error",
+}
+
+// perClusterCSV flattens the per-cluster breakdown into one cell:
+// semicolon-separated "spec|dispatched|issued|copies_out|iq_occ_sum"
+// entries in cluster order (CSV columns are fixed; cluster counts are
+// not).
+func perClusterCSV(cs []stats.ClusterStats) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = fmt.Sprintf("%s|%d|%d|%d|%d", c.Spec, c.Dispatched, c.Issued, c.CopiesOut, c.IQOccSum)
+	}
+	return strings.Join(parts, ";")
 }
 
 func csvRow(r Record) []string {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
 	return []string{
-		r.Config, r.Kernel, strconv.Itoa(r.Scale), strconv.Itoa(r.Clusters), r.VP, r.Steering,
+		r.Config, r.Kernel, strconv.Itoa(r.Scale), strconv.Itoa(r.Clusters), r.ClusterSpecs,
+		r.VP, r.Steering,
 		strconv.Itoa(r.CommLat), strconv.Itoa(r.CommBW), r.Topology, strconv.Itoa(r.VPTable),
 		strconv.FormatInt(r.Cycles, 10), strconv.FormatUint(r.Instructions, 10),
 		strconv.FormatUint(r.BusTransfers, 10), strconv.FormatUint(r.BusStalls, 10),
 		strconv.FormatUint(r.Reissues, 10),
 		f(r.IPC), f(r.CommPerInstr), f(r.Imbalance), f(r.MeanHops), f(r.BranchAccuracy),
-		f(r.VPHitRatio), f(r.VPConfidentFraction), r.Err,
+		f(r.VPHitRatio), f(r.VPConfidentFraction), perClusterCSV(r.PerCluster), r.Err,
 	}
 }
 

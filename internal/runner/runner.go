@@ -81,7 +81,10 @@ func displayName(c config.Config) string {
 	if c.Name != "" {
 		return c.Name
 	}
-	return fmt.Sprintf("%dcluster", c.Clusters)
+	if c.NumClusters() > 0 && !c.Homogeneous() {
+		return c.SpecString()
+	}
+	return fmt.Sprintf("%dcluster", c.NumClusters())
 }
 
 // String identifies the job in progress lines and errors. The topology

@@ -59,9 +59,9 @@ func TestGridExpansionOrder(t *testing.T) {
 	}
 	for i, w := range want {
 		j := jobs[i]
-		if j.Config.Clusters != w.clusters || j.Kernel != w.kernel || j.Scale != w.scale {
+		if j.Config.NumClusters() != w.clusters || j.Kernel != w.kernel || j.Scale != w.scale {
 			t.Errorf("job %d = %dc/%s@%d, want %dc/%s@%d",
-				i, j.Config.Clusters, j.Kernel, j.Scale, w.clusters, w.kernel, w.scale)
+				i, j.Config.NumClusters(), j.Kernel, j.Scale, w.clusters, w.kernel, w.scale)
 		}
 	}
 	if got := (Grid{Configs: g.Configs, Kernels: []string{"a"}}).Jobs(); len(got) != 2 || got[0].Scale != 1 {
@@ -358,6 +358,25 @@ func perturbFields(t *testing.T, job *Job, v reflect.Value, path, base string) {
 				t.Errorf("field %s does not affect the fingerprint", name)
 			}
 			f.SetString(old)
+		case reflect.Slice:
+			// Every element must be covered (Config.Clusters is a slice
+			// of ClusterSpec structs), and so must the slice length.
+			for j := 0; j < f.Len(); j++ {
+				el := f.Index(j)
+				if el.Kind() != reflect.Struct {
+					t.Fatalf("field %s element kind %s: teach this test to perturb it", name, el.Kind())
+				}
+				perturbFields(t, job, el, fmt.Sprintf("%s[%d].", name, j), base)
+			}
+			origLen := f.Len()
+			if origLen == 0 {
+				t.Fatalf("field %s is empty; cannot prove length coverage", name)
+			}
+			f.Set(reflect.Append(f, f.Index(0)))
+			if job.Fingerprint() == base {
+				t.Errorf("length of %s does not affect the fingerprint", name)
+			}
+			f.Set(f.Slice(0, origLen))
 		default:
 			t.Fatalf("field %s has unhandled kind %s: teach this test to perturb it", name, f.Kind())
 		}

@@ -13,6 +13,36 @@ import (
 	"clustervp/internal/vpred"
 )
 
+// ClusterStats is the per-cluster breakdown of one run: how steering
+// distributed instructions, how much each cluster actually issued, and
+// how full its instruction queue ran. On heterogeneous machines these
+// columns are how asymmetry is read — equal Dispatched counts on
+// unequal clusters mean the steering ignored capacity.
+type ClusterStats struct {
+	// Spec is the cluster's shape in the config spec-string grammar
+	// (e.g. "4w16q").
+	Spec string `json:"spec"`
+	// Dispatched counts program instructions steered to this cluster.
+	Dispatched uint64 `json:"dispatched"`
+	// Issued counts every issue in this cluster, copies included.
+	Issued uint64 `json:"issued"`
+	// CopiesOut counts copy and verification-copy instructions inserted
+	// into this cluster's queue to export its values.
+	CopiesOut uint64 `json:"copies_out"`
+	// IQOccSum accumulates the cluster's instruction-queue occupancy
+	// each cycle; divide by Cycles for the mean.
+	IQOccSum uint64 `json:"iq_occ_sum"`
+}
+
+// MeanIQOcc is the mean instruction-queue occupancy over a run of the
+// given length.
+func (c ClusterStats) MeanIQOcc(cycles int64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(c.IQOccSum) / float64(cycles)
+}
+
 // Results holds all counters from one simulation run.
 type Results struct {
 	Config    string
@@ -65,6 +95,28 @@ type Results struct {
 	// DispatchStallROB/IQ/Regs count cycles dispatch stopped for each
 	// resource (diagnostics).
 	DispatchStallROB, DispatchStallIQ, DispatchStallRegs uint64
+
+	// PerCluster breaks dispatch/issue/occupancy down by cluster (one
+	// entry per cluster, in cluster order). Aggregates over runs with
+	// differing cluster shapes drop the breakdown (nil).
+	PerCluster []ClusterStats
+}
+
+// DispatchShares returns each cluster's fraction of the steered program
+// instructions (empty when the breakdown is unavailable).
+func (r Results) DispatchShares() []float64 {
+	var total uint64
+	for _, c := range r.PerCluster {
+		total += c.Dispatched
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]float64, len(r.PerCluster))
+	for i, c := range r.PerCluster {
+		out[i] = float64(c.Dispatched) / float64(total)
+	}
+	return out
 }
 
 // IPC is committed instructions per cycle.
@@ -154,12 +206,30 @@ func IPCR(clustered, centralized Results) float64 {
 // "average"), and the event counters are summed.
 func Aggregate(name string, rs []Results) Results {
 	agg := Results{Config: name, Benchmark: "suite"}
+	mixedClusters := false
 	for i, r := range rs {
 		switch {
 		case i == 0:
 			agg.Topology = r.Topology
 		case agg.Topology != r.Topology:
 			agg.Topology = "mixed"
+		}
+		// Per-cluster breakdowns sum across benchmarks of one machine
+		// shape; mixing shapes has no meaningful per-cluster view.
+		switch {
+		case mixedClusters:
+		case i == 0:
+			agg.PerCluster = append([]ClusterStats(nil), r.PerCluster...)
+		case !sameShape(agg.PerCluster, r.PerCluster):
+			agg.PerCluster = nil
+			mixedClusters = true
+		default:
+			for c := range agg.PerCluster {
+				agg.PerCluster[c].Dispatched += r.PerCluster[c].Dispatched
+				agg.PerCluster[c].Issued += r.PerCluster[c].Issued
+				agg.PerCluster[c].CopiesOut += r.PerCluster[c].CopiesOut
+				agg.PerCluster[c].IQOccSum += r.PerCluster[c].IQOccSum
+			}
 		}
 		for h, n := range r.HopHistogram {
 			for len(agg.HopHistogram) <= h {
@@ -190,6 +260,20 @@ func Aggregate(name string, rs []Results) Results {
 		agg.DispatchStallRegs += r.DispatchStallRegs
 	}
 	return agg
+}
+
+// sameShape reports whether two per-cluster breakdowns describe the
+// same machine shape (same length, same specs per position).
+func sameShape(a, b []ClusterStats) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Spec != b[i].Spec {
+			return false
+		}
+	}
+	return true
 }
 
 // Table formats rows of (label, values...) with a header into an aligned

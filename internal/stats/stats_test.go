@@ -134,3 +134,38 @@ func TestAggregateAdditivityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Per-cluster breakdowns aggregate by position when every run has the
+// same machine shape, and drop to nil when shapes mix.
+func TestAggregatePerCluster(t *testing.T) {
+	mk := func(d0, d1 uint64) Results {
+		return Results{
+			Cycles: 10, Instructions: d0 + d1,
+			PerCluster: []ClusterStats{
+				{Spec: "4w16q", Dispatched: d0, Issued: d0 + 1, CopiesOut: 2, IQOccSum: 30},
+				{Spec: "2w8q", Dispatched: d1, Issued: d1, CopiesOut: 1, IQOccSum: 10},
+			},
+		}
+	}
+	agg := Aggregate("a", []Results{mk(6, 3), mk(4, 2)})
+	if len(agg.PerCluster) != 2 {
+		t.Fatalf("aggregate dropped the breakdown: %+v", agg.PerCluster)
+	}
+	if agg.PerCluster[0].Dispatched != 10 || agg.PerCluster[1].Dispatched != 5 ||
+		agg.PerCluster[0].IQOccSum != 60 || agg.PerCluster[1].CopiesOut != 2 {
+		t.Errorf("per-cluster sums wrong: %+v", agg.PerCluster)
+	}
+	if agg.PerCluster[0].Spec != "4w16q" {
+		t.Errorf("spec label lost: %+v", agg.PerCluster[0])
+	}
+	shares := agg.DispatchShares()
+	if len(shares) != 2 || shares[0] < 0.66 || shares[0] > 0.67 {
+		t.Errorf("dispatch shares = %v", shares)
+	}
+
+	other := Results{PerCluster: []ClusterStats{{Spec: "8w64q", Dispatched: 1}}}
+	mixed := Aggregate("m", []Results{mk(1, 1), other})
+	if mixed.PerCluster != nil {
+		t.Errorf("mixed shapes must drop the breakdown, got %+v", mixed.PerCluster)
+	}
+}

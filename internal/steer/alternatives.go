@@ -16,7 +16,11 @@ import "clustervp/internal/config"
 //     slices start on the cluster after the previous allocation.
 //
 // They satisfy the same Chooser interface as the paper's Steerer so the
-// core can swap them in.
+// core can swap them in. All three consult per-cluster capacity on
+// asymmetric machines: RoundRobin and DepFIFO allocate cyclically in
+// proportion to issue width (smooth weighted round-robin), and LoadOnly
+// reads the capacity-weighted balancer. On homogeneous machines every
+// sequence is bit-identical to the unweighted implementations.
 
 // Chooser selects a cluster for one instruction given its operand views.
 type Chooser interface {
@@ -24,29 +28,57 @@ type Chooser interface {
 	Balancer() *Balancer
 }
 
-// RoundRobin distributes instructions cyclically, ignoring operands.
+// wrr is a smooth weighted round-robin sequencer: each pick adds every
+// cluster's weight to its credit, selects the highest credit (ties to
+// the lower index) and charges it the weight sum. With uniform weights
+// the sequence is plain cyclic 0,1,…,N-1; with weights {2,1,1} it is
+// 0,1,2,0,… — each cluster appearing in proportion to its weight.
+type wrr struct {
+	weights []int64
+	wsum    int64
+	credit  []int64
+}
+
+// newWRR builds a sequencer from capacity weights (gcd-normalized, like
+// the Balancer).
+func newWRR(weights []int) *wrr {
+	b := NewWeightedBalancer(weights)
+	return &wrr{weights: b.weights, wsum: b.wsum, credit: make([]int64, len(b.weights))}
+}
+
+// next returns the next cluster in the weighted cycle.
+func (w *wrr) next() int {
+	best := 0
+	for i := range w.credit {
+		w.credit[i] += w.weights[i]
+		if w.credit[i] > w.credit[best] {
+			best = i
+		}
+	}
+	w.credit[best] -= w.wsum
+	return best
+}
+
+// RoundRobin distributes instructions cyclically — in proportion to
+// cluster capacity on asymmetric machines — ignoring operands.
 type RoundRobin struct {
-	clusters int
-	next     int
-	bal      *Balancer
+	seq *wrr
+	bal *Balancer
 }
 
 // NewRoundRobin builds a round-robin chooser.
 func NewRoundRobin(cfg config.Config, bal *Balancer) *RoundRobin {
-	return &RoundRobin{clusters: cfg.Clusters, bal: bal}
+	return &RoundRobin{seq: newWRR(cfg.IssueWeights()), bal: bal}
 }
 
 // Choose implements Chooser.
-func (r *RoundRobin) Choose([]Operand) int {
-	c := r.next
-	r.next = (r.next + 1) % r.clusters
-	return c
-}
+func (r *RoundRobin) Choose([]Operand) int { return r.seq.next() }
 
 // Balancer implements Chooser.
 func (r *RoundRobin) Balancer() *Balancer { return r.bal }
 
-// LoadOnly always picks the least-loaded cluster, ignoring dependences.
+// LoadOnly always picks the least-loaded cluster (capacity-weighted),
+// ignoring dependences.
 type LoadOnly struct {
 	bal *Balancer
 }
@@ -63,17 +95,22 @@ func (l *LoadOnly) Balancer() *Balancer { return l.bal }
 // DepFIFO approximates dependence-based steering: an instruction with a
 // pending operand follows that operand's producer cluster; an
 // instruction whose operands are all ready starts a new dependence
-// slice on the cluster after the last slice start (implicit balancing
-// via FIFO allocation, as in the dependence-based paradigm).
+// slice on the next cluster of the capacity-proportional allocation
+// cycle (implicit balancing via FIFO allocation, as in the
+// dependence-based paradigm).
 type DepFIFO struct {
-	clusters  int
-	lastSlice int
-	bal       *Balancer
+	seq *wrr
+	bal *Balancer
 }
 
 // NewDepFIFO builds a dependence-FIFO chooser.
 func NewDepFIFO(cfg config.Config, bal *Balancer) *DepFIFO {
-	return &DepFIFO{clusters: cfg.Clusters, bal: bal}
+	seq := newWRR(cfg.IssueWeights())
+	// Start the allocation cycle as if cluster 0 was just used, so the
+	// first new slice lands on the next cluster — preserving the
+	// homogeneous sequence 1,2,…,0 of the unweighted implementation.
+	seq.credit[0] -= seq.wsum
+	return &DepFIFO{seq: seq, bal: bal}
 }
 
 // Choose implements Chooser.
@@ -84,8 +121,7 @@ func (d *DepFIFO) Choose(ops []Operand) int {
 		}
 	}
 	// New slice: next cluster in FIFO-allocation order.
-	d.lastSlice = (d.lastSlice + 1) % d.clusters
-	return d.lastSlice
+	return d.seq.next()
 }
 
 // Balancer implements Chooser.

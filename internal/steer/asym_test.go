@@ -1,0 +1,229 @@
+package steer
+
+// Tests for capacity-weighted steering on asymmetric machines, plus the
+// O(1)-Dispatched Balancer representation: equivalence with the paper's
+// per-dispatch increment loop, the sum-to-zero invariant under weights,
+// and every steering scheme preferring the wider cluster.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clustervp/internal/config"
+)
+
+// asymCfg is a 3-cluster machine with one double-width cluster:
+// weights (issue int+fp) 6:3:3, normalized 2:1:1.
+func asymCfg(kind config.SteeringKind) config.Config {
+	return config.FromSpecs(
+		config.DefaultSpec(4, 16),
+		config.DefaultSpec(2, 8),
+		config.DefaultSpec(2, 8),
+	).WithSteering(kind)
+}
+
+func asymBalancer() *Balancer {
+	return NewWeightedBalancer(asymCfg(config.SteerBaseline).IssueWeights())
+}
+
+// refBalancer is the pre-refactor O(N) implementation, generalized to
+// weights exactly as the Balancer documents: dispatching to c adds
+// U-u_c to counter c and subtracts u_j from every other counter.
+type refBalancer struct {
+	weights []int64
+	wsum    int64
+	counts  []int64
+}
+
+func newRefBalancer(weights []int64, wsum int64) *refBalancer {
+	return &refBalancer{weights: weights, wsum: wsum, counts: make([]int64, len(weights))}
+}
+
+func (b *refBalancer) dispatched(c int) {
+	for i := range b.counts {
+		b.counts[i] -= b.weights[i]
+	}
+	b.counts[c] += b.wsum
+}
+
+// TestBalancerMatchesIncrementLoop proves the O(1) delta+offset
+// representation equivalent to the per-dispatch increment loop, for the
+// uniform case and an asymmetric one, over a pseudo-random dispatch
+// sequence.
+func TestBalancerMatchesIncrementLoop(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		weights []int
+	}{
+		{"uniform4", []int{1, 1, 1, 1}},
+		{"asym", []int{6, 3, 3}},
+		{"gcd-reducible", []int{4, 2, 2, 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewWeightedBalancer(tc.weights)
+			ref := newRefBalancer(b.weights, b.wsum)
+			state := uint64(42)
+			for i := 0; i < 10_000; i++ {
+				state = state*6364136223846793005 + 1442695040888963407
+				c := int(state>>33) % len(tc.weights)
+				b.Dispatched(c)
+				ref.dispatched(c)
+				if i%97 != 0 {
+					continue
+				}
+				for j := range tc.weights {
+					if b.Count(j) != ref.counts[j] {
+						t.Fatalf("step %d: Count(%d) = %d, increment loop has %d",
+							i, j, b.Count(j), ref.counts[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWeightedCountersSumZeroProperty: however the weights are drawn
+// and wherever the instructions go, the DCOUNT counters sum to zero.
+func TestWeightedCountersSumZeroProperty(t *testing.T) {
+	f := func(rawWeights []uint8, seq []uint8) bool {
+		weights := make([]int, 0, 4)
+		for _, w := range rawWeights {
+			weights = append(weights, int(w%8)+1)
+			if len(weights) == 4 {
+				break
+			}
+		}
+		if len(weights) == 0 {
+			weights = []int{1}
+		}
+		b := NewWeightedBalancer(weights)
+		for _, v := range seq {
+			b.Dispatched(int(v) % len(weights))
+		}
+		var sum int64
+		for i := range weights {
+			sum += b.Count(i)
+		}
+		return sum == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWeightedBalancerNormalizesGCD: a homogeneous machine of any width
+// must reduce to weight 1 per cluster, reproducing the unweighted
+// counters bit for bit.
+func TestWeightedBalancerNormalizesGCD(t *testing.T) {
+	wide := NewWeightedBalancer([]int{6, 6, 6, 6})
+	plain := NewBalancer(4)
+	for _, c := range []int{0, 1, 1, 3, 0, 2} {
+		wide.Dispatched(c)
+		plain.Dispatched(c)
+	}
+	for c := 0; c < 4; c++ {
+		if wide.Count(c) != plain.Count(c) {
+			t.Errorf("cluster %d: weighted-homogeneous count %d != uniform count %d",
+				c, wide.Count(c), plain.Count(c))
+		}
+		if wide.Weight(c) != 1 {
+			t.Errorf("cluster %d: homogeneous weight %d, want 1 after gcd normalization", c, wide.Weight(c))
+		}
+	}
+}
+
+// TestAllSchemesPreferWiderCluster is the asymmetry acceptance test:
+// under every steering scheme, a stream of operand-free instructions on
+// the 2:1:1 machine must land on the double-width cluster roughly twice
+// as often as on either narrow one.
+func TestAllSchemesPreferWiderCluster(t *testing.T) {
+	const n = 1200
+	for _, tc := range []struct {
+		name string
+		mk   func() Chooser
+	}{
+		{"baseline", func() Chooser { return New(asymCfg(config.SteerBaseline), asymBalancer()) }},
+		{"modified", func() Chooser { return New(asymCfg(config.SteerModified), asymBalancer()) }},
+		{"vpb", func() Chooser { return New(asymCfg(config.SteerVPB), asymBalancer()) }},
+		{"roundrobin", func() Chooser { return NewRoundRobin(asymCfg(config.SteerRoundRobin), asymBalancer()) }},
+		{"loadonly", func() Chooser { return NewLoadOnly(asymCfg(config.SteerLoadOnly), asymBalancer()) }},
+		{"depfifo", func() Chooser { return NewDepFIFO(asymCfg(config.SteerDepFIFO), asymBalancer()) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.mk()
+			counts := make([]int, 3)
+			ops := []Operand{{Available: true}}
+			for i := 0; i < n; i++ {
+				c := s.Choose(ops)
+				counts[c]++
+				s.Balancer().Dispatched(c)
+			}
+			if counts[0]+counts[1]+counts[2] != n {
+				t.Fatalf("counts %v do not sum to %d", counts, n)
+			}
+			// The wide cluster has half the machine's capacity: it must
+			// receive clearly more than either narrow cluster (ideal
+			// share 50% vs 25%; allow generous slack for scheme quirks).
+			if counts[0] <= counts[1] || counts[0] <= counts[2] {
+				t.Errorf("wide cluster got %d, narrow got %d/%d — capacity ignored", counts[0], counts[1], counts[2])
+			}
+			if lo := n * 2 / 5; counts[0] < lo {
+				t.Errorf("wide cluster share %d/%d below %d — not capacity-proportional", counts[0], n, lo)
+			}
+		})
+	}
+}
+
+// TestWeightedSteeringDivergesFromUniform proves capacity-weighted
+// DCOUNT changes behaviour on an asymmetric spec: the same Steerer
+// driven by a weighted balancer and by a uniform one must disagree on
+// at least one choice of an operand-free stream.
+func TestWeightedSteeringDivergesFromUniform(t *testing.T) {
+	cfg := asymCfg(config.SteerBaseline)
+	weighted := New(cfg, NewWeightedBalancer(cfg.IssueWeights()))
+	uniform := New(cfg, NewBalancer(cfg.NumClusters()))
+	diverged := false
+	for i := 0; i < 100; i++ {
+		a := weighted.Choose(nil)
+		b := uniform.Choose(nil)
+		if a != b {
+			diverged = true
+			break
+		}
+		weighted.Balancer().Dispatched(a)
+		uniform.Balancer().Dispatched(b)
+	}
+	if !diverged {
+		t.Error("capacity weighting never changed a steering decision on the 2:1:1 machine")
+	}
+}
+
+// TestWRRProportions pins the smooth weighted round-robin sequence on
+// the 2:1:1 machine: period 4, wide cluster twice per period.
+func TestWRRProportions(t *testing.T) {
+	seq := newWRR([]int{2, 1, 1})
+	var got []int
+	for i := 0; i < 8; i++ {
+		got = append(got, seq.next())
+	}
+	want := []int{0, 1, 2, 0, 0, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("wrr sequence = %v, want %v", got, want)
+		}
+	}
+}
+
+// BenchmarkBalancerDispatched pins the O(1) dispatch cost: it must not
+// scale with the cluster count (the pre-refactor loop was O(N)).
+func BenchmarkBalancerDispatched(b *testing.B) {
+	for _, n := range []int{4, 64} {
+		b.Run(map[int]string{4: "4clusters", 64: "64clusters"}[n], func(b *testing.B) {
+			bal := NewBalancer(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bal.Dispatched(i % n)
+			}
+		})
+	}
+}

@@ -1,8 +1,14 @@
 // Package steer implements the paper's dynamic instruction-steering
 // heuristics (§2.3, §3): the Baseline scheme (an enhanced "Advanced RMBS"
-// generalized to N homogeneous clusters), the §3.2 Modified scheme, and
-// the §3.3 VPB (Value Prediction Based) scheme, together with the DCOUNT
+// generalized to N clusters), the §3.2 Modified scheme, and the §3.3 VPB
+// (Value Prediction Based) scheme, together with the DCOUNT
 // workload-balance counters the steering decisions consult.
+//
+// The DCOUNT counters are capacity-weighted so the heuristics extend to
+// heterogeneous machines: each cluster carries a weight proportional to
+// its issue width, and "balanced" means equal utilization rather than
+// equal instruction count. On homogeneous machines the weights normalize
+// to 1 and every counter value is bit-identical to the paper's scheme.
 package steer
 
 import "clustervp/internal/config"
@@ -23,30 +29,83 @@ type Operand struct {
 	Predicted bool
 }
 
-// Balancer maintains the paper's DCOUNT workload counters: dispatching
-// to cluster c adds N-1 to counter c and subtracts 1 from every other, so
-// counters always sum to zero and counter c equals N times the surplus of
-// cluster c over the per-cluster average (§2.3.2).
+// Balancer maintains the paper's DCOUNT workload counters, generalized
+// to capacity weights. With normalized weights u_c (gcd-reduced issue
+// widths; all 1 on homogeneous machines) and U = Σu_c, dispatching to
+// cluster c conceptually adds U-u_c to counter c and subtracts u_j from
+// every other counter j, so the counters always sum to zero and counter
+// c equals U·(d_c − u_c·D/U): the surplus of cluster c over its
+// capacity share of the D dispatched instructions (§2.3.2, weighted).
+//
+// The representation makes Dispatched O(1): it stores only the
+// per-cluster dispatch tallies d_c and the global total D, and
+// materializes counter c as U·d_c − u_c·D on read. For uniform weights
+// that is N·d_c − D — exactly the value the paper's per-dispatch
+// increment loop maintains.
 type Balancer struct {
-	counts []int64
+	weights []int64 // normalized capacity weights u_c
+	wsum    int64   // U = Σ u_c
+	disp    []int64 // d_c: instructions dispatched to cluster c
+	total   int64   // D = Σ d_c
 }
 
-// NewBalancer builds a Balancer for n clusters.
-func NewBalancer(n int) *Balancer { return &Balancer{counts: make([]int64, n)} }
-
-// Dispatched records an instruction steered to cluster c.
-func (b *Balancer) Dispatched(c int) {
-	n := int64(len(b.counts))
-	for i := range b.counts {
-		b.counts[i]--
+// NewBalancer builds a Balancer for n equally-weighted clusters (the
+// paper's homogeneous machines).
+func NewBalancer(n int) *Balancer {
+	w := make([]int, n)
+	for i := range w {
+		w[i] = 1
 	}
-	b.counts[c] += n
+	return NewWeightedBalancer(w)
+}
+
+// NewWeightedBalancer builds a Balancer whose cluster c has capacity
+// weight weights[c] (typically the cluster's total issue width). The
+// weights are normalized by their gcd, so homogeneous machines reduce
+// to weight 1 per cluster and reproduce the unweighted counters
+// bit-for-bit.
+func NewWeightedBalancer(weights []int) *Balancer {
+	b := &Balancer{
+		weights: make([]int64, len(weights)),
+		disp:    make([]int64, len(weights)),
+	}
+	g := 0
+	for _, w := range weights {
+		if w < 1 {
+			panic("steer: capacity weights must be >= 1")
+		}
+		g = gcd(g, w)
+	}
+	for i, w := range weights {
+		b.weights[i] = int64(w / g)
+		b.wsum += b.weights[i]
+	}
+	return b
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Dispatched records an instruction steered to cluster c in O(1).
+func (b *Balancer) Dispatched(c int) {
+	b.disp[c]++
+	b.total++
+}
+
+// Count returns cluster c's DCOUNT counter: U·d_c − u_c·D.
+func (b *Balancer) Count(c int) int64 {
+	return b.wsum*b.disp[c] - b.weights[c]*b.total
 }
 
 // Imbalance is the maximum absolute counter value.
 func (b *Balancer) Imbalance() int64 {
 	var m int64
-	for _, v := range b.counts {
+	for c := range b.disp {
+		v := b.Count(c)
 		if v < 0 {
 			v = -v
 		}
@@ -57,20 +116,25 @@ func (b *Balancer) Imbalance() int64 {
 	return m
 }
 
-// Count returns cluster c's counter.
-func (b *Balancer) Count(c int) int64 { return b.counts[c] }
+// Weight returns cluster c's normalized capacity weight.
+func (b *Balancer) Weight(c int) int64 { return b.weights[c] }
+
+// Clusters returns the cluster count.
+func (b *Balancer) Clusters() int { return len(b.disp) }
 
 // LeastLoaded returns the cluster with the minimum counter among those in
 // mask (a bitmask; 0 means all clusters). Ties break toward the lower
 // cluster index.
 func (b *Balancer) LeastLoaded(mask uint32) int {
 	best := -1
-	for i, v := range b.counts {
+	var bestCount int64
+	for i := range b.disp {
 		if mask != 0 && mask&(1<<uint(i)) == 0 {
 			continue
 		}
-		if best == -1 || v < b.counts[best] {
-			best = i
+		v := b.Count(i)
+		if best == -1 || v < bestCount {
+			best, bestCount = i, v
 		}
 	}
 	if best == -1 {
@@ -81,9 +145,10 @@ func (b *Balancer) LeastLoaded(mask uint32) int {
 
 // Reset zeroes the counters.
 func (b *Balancer) Reset() {
-	for i := range b.counts {
-		b.counts[i] = 0
+	for i := range b.disp {
+		b.disp[i] = 0
 	}
+	b.total = 0
 }
 
 // Steerer chooses a cluster for each dispatched instruction.
@@ -99,12 +164,13 @@ type Steerer struct {
 // New builds a Steerer from the machine configuration, sharing the given
 // Balancer (the core also reads it for statistics).
 func New(cfg config.Config, bal *Balancer) *Steerer {
+	n := cfg.NumClusters()
 	return &Steerer{
 		kind:      cfg.Steering,
-		clusters:  cfg.Clusters,
+		clusters:  n,
 		threshold: int64(cfg.BalanceThreshold),
 		vpbThresh: int64(cfg.VPBThreshold),
-		allMask:   (1 << uint(cfg.Clusters)) - 1,
+		allMask:   (1 << uint(n)) - 1,
 		bal:       bal,
 	}
 }
@@ -118,6 +184,10 @@ func New(cfg config.Config, bal *Balancer) *Steerer {
 //     pending operands; 2.2 else the clusters where the most operands
 //     are mapped; 2.3 else all clusters.
 //  3. Pick the least loaded cluster among the candidates.
+//
+// "Least loaded" consults the capacity-weighted counters, so on an
+// asymmetric machine every rule prefers clusters with spare capacity
+// share, not merely fewer instructions.
 //
 // Under Modified/VPB steering, confidently predicted operands count as
 // available in rule 2.1 (M1); under Modified always — and under VPB only
