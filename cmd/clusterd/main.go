@@ -1,0 +1,110 @@
+// Command clusterd is the simulation job server: a long-lived HTTP
+// service that accepts simulation jobs and grids as JSON, executes
+// them on a bounded worker pool with fingerprint deduplication, and
+// persists every result in an on-disk content-addressed cache so
+// identical work is never re-simulated across restarts or replicas
+// sharing the data directory.
+//
+// Usage:
+//
+//	clusterd -addr 127.0.0.1:8090 -data ./clusterd-data
+//
+// Endpoints (see ARCHITECTURE.md "Service layer" for the full table):
+//
+//	POST /v1/jobs    POST /v1/grids    GET /v1/jobs/{id}
+//	GET  /v1/jobs/{id}/events          POST /v1/traces
+//	GET  /v1/healthz                   GET /v1/statsz
+//
+// The first line on stdout is "clusterd listening on http://<addr>",
+// with the actual port — so -addr 127.0.0.1:0 picks a free port and
+// scripts can scrape it. SIGINT/SIGTERM shut down gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"clustervp/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8090", "listen address (port 0 picks a free port)")
+	data := flag.String("data", "clusterd-data", "data directory (result cache and trace store live under it)")
+	cacheDir := flag.String("cache-dir", "", "result-cache directory (default <data>/results; \"off\" disables)")
+	traceDir := flag.String("trace-dir", "", "trace-store directory (default <data>/traces; \"off\" disables)")
+	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 1024, "max queued jobs")
+	progress := flag.Int64("progress-interval", 50_000, "cycles between job progress events")
+	flag.Parse()
+
+	if err := run(*addr, *data, *cacheDir, *traceDir, *workers, *queue, *progress); err != nil {
+		fmt.Fprintln(os.Stderr, "clusterd:", err)
+		os.Exit(1)
+	}
+}
+
+// resolveDir applies the <data>-relative default and the "off" switch.
+func resolveDir(override, data, sub string) string {
+	switch override {
+	case "":
+		return filepath.Join(data, sub)
+	case "off":
+		return ""
+	default:
+		return override
+	}
+}
+
+func run(addr, data, cacheDir, traceDir string, workers, queue int, progress int64) error {
+	srv, err := service.New(service.Options{
+		Workers:          workers,
+		QueueDepth:       queue,
+		CacheDir:         resolveDir(cacheDir, data, "results"),
+		TraceDir:         resolveDir(traceDir, data, "traces"),
+		ProgressInterval: progress,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("clusterd listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Request contexts derive from the signal context, so a shutdown
+	// also ends long-lived /events streams — otherwise one watcher of
+	// an unfinished job would pin Shutdown to its full timeout.
+	hs := &http.Server{
+		Handler:     srv.Handler(),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	select {
+	case err := <-done:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "clusterd: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(shutCtx)
+	}
+}

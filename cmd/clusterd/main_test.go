@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+// TestResolveDir pins the data-directory convention: empty means the
+// <data>-relative default, "off" disables, anything else is literal.
+func TestResolveDir(t *testing.T) {
+	cases := []struct {
+		override, data, sub, want string
+	}{
+		{"", "d", "results", "d/results"},
+		{"", "d", "traces", "d/traces"},
+		{"off", "d", "results", ""},
+		{"/elsewhere", "d", "results", "/elsewhere"},
+	}
+	for _, tc := range cases {
+		if got := resolveDir(tc.override, tc.data, tc.sub); got != tc.want {
+			t.Errorf("resolveDir(%q, %q, %q) = %q, want %q", tc.override, tc.data, tc.sub, got, tc.want)
+		}
+	}
+}

@@ -15,15 +15,24 @@
 //	clustersim -kernel cjpeg -clusters 4 -topology mesh -paths 1
 //	clustersim -trace-in cjpeg.cvt -clusters 4 -vp stride     # replay a .cvt
 //	clustersim -kernel cjpeg -trace-out cjpeg.cvt             # record while simulating
+//	clustersim -kernel cjpeg -remote http://127.0.0.1:8090    # run on a clusterd server
+//
+// -remote submits the identical run to a clusterd instance (uploading
+// the -trace-in file first when one is named) and prints exactly what
+// the local run would print: both modes build their machine from the
+// same config.MachineSpec, and the returned stats.Results record is
+// rendered by the same code.
 //
 // Unknown enum values (-vp, -steer, -topology) and unparsable -clusters
 // machine descriptions exit with status 2 and one shared message
 // listing the valid choices for every enum flag. Simulation failures —
 // including corrupt or truncated trace files and exceeded -maxcycles
-// budgets — print the error to stderr and exit 1.
+// budgets — print the error to stderr and exit 1; a failed remote job
+// reports the server's error the same way.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,7 +41,10 @@ import (
 	"strings"
 
 	"clustervp"
+	"clustervp/internal/config"
 	"clustervp/internal/core"
+	"clustervp/internal/service"
+	"clustervp/internal/service/client"
 	"clustervp/internal/trace"
 )
 
@@ -94,6 +106,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceIn := fs.String("trace-in", "", "replay this .cvt trace instead of synthesizing -kernel")
 	traceOut := fs.String("trace-out", "", "record the simulated instruction stream into this .cvt file")
 	asJSON := fs.Bool("json", false, "emit the result as a single JSON object instead of text")
+	remote := fs.String("remote", "", "submit the run to a clusterd server at this base URL instead of simulating locally")
 	if err := fs.Parse(args); err != nil {
 		// A bare enum flag ("clustersim -vp") dies inside the flag
 		// package; still surface the shared choices table.
@@ -124,8 +137,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	cfg, err := parseClusters(strings.TrimSpace(*clusters))
-	if err != nil {
+	// Individual enum validation first, so a bad value is attributed to
+	// its flag and answered with the shared choices table.
+	machine := strings.TrimSpace(*clusters)
+	if _, err := config.ParseMachine(machine); err != nil {
 		return failEnum("-clusters", err)
 	}
 	vpKind, err := clustervp.ParseVP(strings.ToLower(*vp))
@@ -143,25 +158,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *traceIn != "" && *traceOut != "" {
 		return fail("-trace-in and -trace-out are mutually exclusive")
 	}
+	if *remote != "" && *traceOut != "" {
+		return fail("-trace-out records locally and cannot be combined with -remote")
+	}
+	// MachineSpec treats zero as "keep the default", so flag values the
+	// old builder chain would have rejected must be rejected here.
+	if *commlat < 1 || *rename < 1 || *vptable < 1 || *scale < 1 || *maxCycles < 0 || *paths < 0 {
+		return fail("invalid configuration: -commlat, -rename, -vptable and -scale must be >= 1; -paths and -maxcycles must be >= 0")
+	}
 
-	cfg = cfg.
-		WithComm(*commlat, *paths).
-		WithVPTable(*vptable).
-		WithVP(vpKind).
-		WithSteering(steering).
-		WithTopology(topo)
-	cfg.RenameCycles = *rename
-	cfg.MaxCycles = *maxCycles
-	// Whole-config validation catches bad values on the numeric flags
-	// (-commlat, -rename, -vptable, …) too; those are not enum errors,
-	// so report them neutrally rather than blaming -clusters.
-	if err := cfg.Validate(); err != nil {
+	// Both the local and the remote path build the machine through the
+	// same config.MachineSpec — what -remote submits is byte-for-byte
+	// what runs locally.
+	spec := config.MachineSpec{
+		Clusters:       machine,
+		VP:             strings.ToLower(*vp),
+		Steering:       strings.ToLower(*steerKind),
+		Topology:       strings.ToLower(*topology),
+		CommLatency:    *commlat,
+		CommPaths:      *paths,
+		VPTableEntries: *vptable,
+		RenameCycles:   *rename,
+		MaxCycles:      *maxCycles,
+	}
+	cfg, err := spec.Build()
+	if err != nil {
+		// Whole-config validation catches bad combinations of the
+		// numeric flags; those are not enum errors, so report them
+		// neutrally rather than blaming -clusters.
 		return fail("invalid configuration: %v", err)
 	}
 
 	// sim error: valid command line but the run failed (corrupt trace,
-	// cycle budget, watchdog) — report on stderr, exit 1.
-	r, err := simulate(cfg, *kernel, *scale, *seed, *traceIn, *traceOut)
+	// cycle budget, watchdog, remote failure) — report on stderr, exit 1.
+	var r clustervp.Results
+	if *remote != "" {
+		r, err = runRemote(*remote, spec, *kernel, *scale, *seed, *traceIn)
+	} else {
+		r, err = simulate(cfg, *kernel, *scale, *seed, *traceIn, *traceOut)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "error:", err)
 		return 1
@@ -206,23 +241,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// parseClusters resolves the -clusters value: a Table 1 preset count or
-// a cluster spec string building an arbitrary (possibly asymmetric)
-// machine.
-func parseClusters(v string) (clustervp.Config, error) {
-	switch v {
-	case "1":
-		return clustervp.Preset(1), nil
-	case "2":
-		return clustervp.Preset(2), nil
-	case "4":
-		return clustervp.Preset(4), nil
+// runRemote submits the run to a clusterd server and waits for the
+// result. A -trace-in file is uploaded to the server's
+// content-addressed store first and referenced by digest, so the
+// server replays exactly the bytes the local run would.
+func runRemote(base string, spec config.MachineSpec, kernel string, scale int, seed uint64, traceIn string) (clustervp.Results, error) {
+	ctx := context.Background()
+	c := client.New(base)
+	req := service.JobRequest{Machine: spec, Kernel: kernel, Scale: scale, Seed: seed}
+	if traceIn != "" {
+		digest, _, err := c.UploadTraceFile(ctx, traceIn)
+		if err != nil {
+			return clustervp.Results{}, fmt.Errorf("uploading %s: %w", traceIn, err)
+		}
+		req.Kernel = ""
+		req.TraceDigest = digest
 	}
-	specs, err := clustervp.ParseClusterSpecs(v)
+	st, err := c.Run(ctx, req)
 	if err != nil {
-		return clustervp.Config{}, err
+		return clustervp.Results{}, err
 	}
-	return clustervp.FromSpecs(specs...), nil
+	if st.State != service.StateDone || st.Results == nil {
+		return clustervp.Results{}, fmt.Errorf("remote job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	return *st.Results, nil
 }
 
 // simulate routes the three instruction-stream modes: replay a .cvt

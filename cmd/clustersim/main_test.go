@@ -3,12 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"clustervp/internal/runner"
+	"clustervp/internal/service"
 )
 
 // cli runs the command in-process and captures its streams and exit
@@ -141,6 +143,18 @@ func TestOversizedSpecRejected(t *testing.T) {
 	}
 }
 
+// TestClustersValueIsTrimmed: whitespace-padded preset counts and spec
+// strings keep working (the preset check and MachineSpec.Build must
+// both see the trimmed value).
+func TestClustersValueIsTrimmed(t *testing.T) {
+	for _, v := range []string{" 4", "4 ", " 2w16qx2 "} {
+		code, _, stderr := cli(t, "-kernel", "rawcaudio", "-clusters", v)
+		if code != 0 {
+			t.Errorf("-clusters %q exited %d: %s", v, code, stderr)
+		}
+	}
+}
+
 // TestAsymmetricSpecRuns drives a heterogeneous -clusters machine end
 // to end and checks the per-cluster breakdown reaches the JSON record.
 func TestAsymmetricSpecRuns(t *testing.T) {
@@ -165,6 +179,106 @@ func TestAsymmetricSpecRuns(t *testing.T) {
 	}
 	if total != rec.Instructions {
 		t.Errorf("per-cluster dispatched sums to %d, want %d committed instructions", total, rec.Instructions)
+	}
+}
+
+// startClusterd boots an in-process clusterd over httptest and returns
+// its base URL.
+func startClusterd(t *testing.T, opts service.Options) string {
+	t.Helper()
+	if opts.Workers == 0 {
+		opts.Workers = 2
+	}
+	s, err := service.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestRemoteMatchesLocalJSON is the -remote contract: submitting the
+// identical run to a clusterd instance prints byte-identical JSON to
+// local simulation — same stats.Results, same flattened Record.
+func TestRemoteMatchesLocalJSON(t *testing.T) {
+	base := startClusterd(t, service.Options{})
+	for _, args := range [][]string{
+		{"-kernel", "rawcaudio", "-clusters", "2", "-json"},
+		{"-kernel", "gsmdec", "-clusters", "4", "-vp", "stride", "-steer", "vpb", "-json"},
+		{"-kernel", "rawcaudio", "-clusters", "4w16q:2w8qx2", "-vp", "twodelta", "-topology", "ring", "-paths", "1", "-json"},
+	} {
+		code, local, stderr := cli(t, args...)
+		if code != 0 {
+			t.Fatalf("local %v exited %d: %s", args, code, stderr)
+		}
+		code, remote, stderr := cli(t, append(args, "-remote", base)...)
+		if code != 0 {
+			t.Fatalf("remote %v exited %d: %s", args, code, stderr)
+		}
+		if local != remote {
+			t.Errorf("%v: remote JSON differs from local:\nlocal  %s\nremote %s", args, local, remote)
+		}
+	}
+}
+
+// TestRemoteMatchesLocalText covers the human-readable output path.
+func TestRemoteMatchesLocalText(t *testing.T) {
+	base := startClusterd(t, service.Options{})
+	args := []string{"-kernel", "rawcaudio", "-clusters", "2", "-vp", "stride"}
+	code, local, stderr := cli(t, args...)
+	if code != 0 {
+		t.Fatalf("local exited %d: %s", code, stderr)
+	}
+	code, remote, stderr := cli(t, append(args, "-remote", base)...)
+	if code != 0 {
+		t.Fatalf("remote exited %d: %s", code, stderr)
+	}
+	if local != remote {
+		t.Errorf("remote text output differs from local:\nlocal:\n%s\nremote:\n%s", local, remote)
+	}
+}
+
+// TestRemoteTraceReplayMatchesLocal uploads the -trace-in file to the
+// server and replays it by digest; the JSON must match local replay.
+func TestRemoteTraceReplayMatchesLocal(t *testing.T) {
+	base := startClusterd(t, service.Options{TraceDir: t.TempDir()})
+	dir := t.TempDir()
+	if _, err := runner.MaterializeTraces(dir, []runner.Job{{Kernel: "rawcaudio", Scale: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	path := runner.TracePath(dir, "rawcaudio", 1, 0)
+	args := []string{"-trace-in", path, "-clusters", "2", "-json"}
+	code, local, stderr := cli(t, args...)
+	if code != 0 {
+		t.Fatalf("local replay exited %d: %s", code, stderr)
+	}
+	code, remote, stderr := cli(t, append(args, "-remote", base)...)
+	if code != 0 {
+		t.Fatalf("remote replay exited %d: %s", code, stderr)
+	}
+	if local != remote {
+		t.Errorf("remote trace replay differs from local:\nlocal  %s\nremote %s", local, remote)
+	}
+}
+
+// TestRemoteFailuresExitOne: a failing remote job and an unreachable
+// server both follow the simulation-error contract (stderr + exit 1).
+func TestRemoteFailuresExitOne(t *testing.T) {
+	base := startClusterd(t, service.Options{})
+	code, _, stderr := cli(t, "-kernel", "cjpeg", "-maxcycles", "10", "-remote", base)
+	if code != 1 || !strings.Contains(stderr, "exceeded") {
+		t.Errorf("remote budget failure: code=%d stderr=%q, want 1 with the server error", code, stderr)
+	}
+	code, _, stderr = cli(t, "-kernel", "cjpeg", "-remote", "http://127.0.0.1:1")
+	if code != 1 || !strings.Contains(stderr, "error:") {
+		t.Errorf("unreachable server: code=%d stderr=%q, want 1", code, stderr)
+	}
+	// -trace-out is a local recording; combining it with -remote is a
+	// command-line error, not a runtime one.
+	if code, _, _ := cli(t, "-kernel", "cjpeg", "-trace-out", "x.cvt", "-remote", base); code != 2 {
+		t.Errorf("-trace-out with -remote exited %d, want 2", code)
 	}
 }
 

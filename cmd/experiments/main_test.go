@@ -2,12 +2,15 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"clustervp"
 	"clustervp/internal/runner"
@@ -67,6 +70,81 @@ func TestSharedBaselinesSimulatedOnce(t *testing.T) {
 	}
 	if e.eng.Executed() != 11*k {
 		t.Fatalf("Executed() = %d, want %d", e.eng.Executed(), 11*k)
+	}
+}
+
+// TestJobsParallelismWithSharedBaselines verifies the -jobs contract
+// on the -exp all shared-baseline path: a grid full of duplicate
+// baseline jobs must still fan unique work out to the full -jobs
+// worker bound — duplicates wait on the memo without occupying a
+// worker — and must never exceed it. The stub simulator refuses to
+// finish until `workers` simulations are in flight at once, so any
+// serialization (e.g. a memo waiter holding a worker token) deadlocks
+// the gate and fails the test instead of passing quietly at reduced
+// parallelism.
+func TestJobsParallelismWithSharedBaselines(t *testing.T) {
+	const workers = 4
+	var cur, peak int64
+	full := make(chan struct{})
+	var once sync.Once
+	eng := runner.New(runner.Options{Workers: workers, Run: func(j runner.Job) (stats.Results, error) {
+		n := atomic.AddInt64(&cur, 1)
+		defer atomic.AddInt64(&cur, -1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+				break
+			}
+		}
+		if n > workers {
+			return stats.Results{}, fmt.Errorf("%d concurrent simulations exceed -jobs %d", n, workers)
+		}
+		if n == workers {
+			once.Do(func() { close(full) })
+		}
+		select {
+		case <-full:
+		case <-time.After(10 * time.Second):
+			return stats.Results{}, fmt.Errorf("parallelism stuck at %d of -jobs %d", atomic.LoadInt64(&peak), workers)
+		}
+		return stats.Results{Config: j.Config.Name, Benchmark: j.Kernel, Cycles: 100, Instructions: 150}, nil
+	}})
+
+	// The fig2 grid with every job declared three times over — the
+	// worst-case shared-baseline shape: two duplicates per unique job
+	// inside one Run call, racing the claimant.
+	var cfgs []clustervp.Config
+	for _, n := range []int{1, 2, 4} {
+		cfgs = append(cfgs, clustervp.Preset(n), clustervp.Preset(n).WithVP(clustervp.VPStride))
+	}
+	jobs := clustervp.GridSpec{Configs: cfgs, Kernels: clustervp.Kernels(), Scales: []int{1}}.Jobs()
+	tripled := append(append(append([]clustervp.Job(nil), jobs...), jobs...), jobs...)
+	rs := eng.Run(tripled)
+	if err := clustervp.FirstErr(rs); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&peak); got != workers {
+		t.Errorf("peak concurrency %d, want the -jobs bound %d", got, workers)
+	}
+	if got, want := eng.Executed(), int64(len(jobs)); got != want {
+		t.Errorf("executed %d simulations for %d unique jobs (duplicates must memoize)", got, want)
+	}
+
+	// A later figure re-declaring the same baselines (the -exp all
+	// pattern) resolves entirely from the memo: no new simulations, and
+	// results stay consistent.
+	again := eng.Run(jobs)
+	if err := clustervp.FirstErr(again); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := eng.Executed(), int64(len(jobs)); got != want {
+		t.Errorf("re-running shared baselines executed %d extra simulations", got-want)
+	}
+	for i, r := range again {
+		if r.Res.Config != rs[i].Res.Config || r.Res.Benchmark != rs[i].Res.Benchmark ||
+			r.Res.Cycles != rs[i].Res.Cycles {
+			t.Errorf("job %d: memoized result differs from the original", i)
+		}
 	}
 }
 

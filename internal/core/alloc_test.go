@@ -144,6 +144,66 @@ func TestDepsCapacityReused(t *testing.T) {
 	}
 }
 
+// TestSteadyStateAllocFreeProgress extends the allocation-freedom
+// claim to the service path: a registered progress callback firing
+// every few cycles must not reintroduce allocations (the snapshot is a
+// stack value and the firing check is branch-and-compare only).
+func TestSteadyStateAllocFreeProgress(t *testing.T) {
+	s := steadySim(t, 20)
+	var fired int64
+	var last Progress
+	s.SetProgress(16, func(p Progress) {
+		fired++
+		last = p
+	})
+	cycle := int64(5000)
+	avg := testing.AllocsPerRun(100, func() {
+		s.step(cycle)
+		cycle++
+	})
+	if avg != 0 {
+		t.Errorf("steady-state step with progress enabled allocates %.2f objects/cycle, want 0", avg)
+	}
+	if fired == 0 {
+		t.Fatal("progress callback never fired; the allocation claim is vacuous")
+	}
+	if last.Cycle < 5000 || last.Instructions == 0 || last.IPC() <= 0 {
+		t.Errorf("suspicious progress snapshot: %+v", last)
+	}
+	if s.drained() {
+		t.Fatal("trace drained during measurement; the steady-state claim is vacuous")
+	}
+}
+
+// TestProgressIntervalHonored checks the callback cadence and that
+// disabling progress stops further callbacks.
+func TestProgressIntervalHonored(t *testing.T) {
+	s := steadySim(t, 5)
+	var cycles []int64
+	s.SetProgress(100, func(p Progress) { cycles = append(cycles, p.Cycle) })
+	for c := int64(5000); c < 5500; c++ {
+		s.step(c)
+	}
+	// progNext starts at `every`; the warmed sim is past it, so the
+	// first step fires, then every 100 cycles: 5000, 5100, ..., 5400.
+	if len(cycles) != 5 {
+		t.Fatalf("callback fired %d times over 500 cycles at interval 100, want 5 (%v)", len(cycles), cycles)
+	}
+	for i := 1; i < len(cycles); i++ {
+		if cycles[i]-cycles[i-1] != 100 {
+			t.Errorf("uneven firing interval: %v", cycles)
+		}
+	}
+	s.SetProgress(0, nil)
+	n := len(cycles)
+	for c := int64(5500); c < 5700; c++ {
+		s.step(c)
+	}
+	if len(cycles) != n {
+		t.Errorf("disabled progress still fired %d more times", len(cycles)-n)
+	}
+}
+
 // TestSteadyStateAllocFreeAsym extends the allocation-freedom claim to
 // heterogeneous machines: per-cluster IQ sizes, weighted steering,
 // register ports and bypass latency must not reintroduce allocations.

@@ -93,7 +93,50 @@ type Sim struct {
 	excessInt []int
 	excessFP  []int
 
+	// Progress callback state: progFn fires every progEvery cycles
+	// (progNext is the next firing cycle). The check is two loads and a
+	// compare per cycle and the snapshot is a stack value, so enabling
+	// progress keeps the hot loop at zero heap allocations.
+	progFn    func(Progress)
+	progEvery int64
+	progNext  int64
+
 	out stats.Results
+}
+
+// Progress is a cheap point-in-time snapshot of a running simulation,
+// delivered to the callback registered with SetProgress.
+type Progress struct {
+	// Cycle is the current simulated cycle.
+	Cycle int64
+	// Instructions is the committed program-instruction count so far.
+	Instructions uint64
+}
+
+// IPC is the instantaneous instructions-per-cycle figure of the
+// snapshot (0 at cycle 0).
+func (p Progress) IPC() float64 {
+	if p.Cycle == 0 {
+		return 0
+	}
+	return float64(p.Instructions) / float64(p.Cycle)
+}
+
+// SetProgress registers fn to be invoked every `every` cycles while the
+// simulation runs (from the simulation goroutine, so fn must be fast
+// and must not call back into the Sim). A non-positive interval or nil
+// fn disables progress. Call before Run; the callback itself must not
+// allocate if the caller relies on the 0 allocs/op steady-state
+// guarantee.
+func (s *Sim) SetProgress(every int64, fn func(Progress)) {
+	if every <= 0 || fn == nil {
+		s.progFn = nil
+		s.progEvery = 0
+		return
+	}
+	s.progFn = fn
+	s.progEvery = every
+	s.progNext = every
 }
 
 // New builds a simulator for the given configuration and program. It
@@ -201,6 +244,10 @@ func (s *Sim) step(cycle int64) {
 	s.issue(cycle)
 	s.dispatch(cycle)
 	s.fetch(cycle)
+	if s.progFn != nil && cycle >= s.progNext {
+		s.progNext = cycle + s.progEvery
+		s.progFn(Progress{Cycle: cycle, Instructions: s.out.Instructions})
+	}
 }
 
 // drained reports whether the trace is exhausted and the pipeline empty.

@@ -158,6 +158,13 @@ type Options struct {
 	// Progress, when non-nil, receives one line per executed
 	// (non-memoized) job. Memo hits are silent.
 	Progress io.Writer
+	// Cache, when non-nil, persists results across engines keyed by
+	// Job.Fingerprint(): a memo miss consults the cache before
+	// simulating, and every successful simulation is written back.
+	// Cache hits do not count as executed jobs and do not occupy a
+	// worker. Put failures are counted (CachePutErrors) but never fail
+	// the job — a full disk degrades the cache, not the grid.
+	Cache ResultCache
 }
 
 // entry is one memo slot; ready closes once res/err are set, so
@@ -176,6 +183,7 @@ type Engine struct {
 	workers  int
 	run      func(Job) (stats.Results, error)
 	progress io.Writer
+	cache    ResultCache
 	sem      chan struct{}
 
 	mu   sync.Mutex
@@ -188,6 +196,10 @@ type Engine struct {
 	// once, at claim time.
 	claimed  int64
 	finished int64
+	// cacheHits counts memo misses served from the persistent cache
+	// without simulating; cachePutErrs counts failed write-backs.
+	cacheHits    int64
+	cachePutErrs int64
 }
 
 // New returns an engine with the given options.
@@ -204,6 +216,7 @@ func New(opts Options) *Engine {
 		workers:  w,
 		run:      run,
 		progress: opts.Progress,
+		cache:    opts.Cache,
 		sem:      make(chan struct{}, w),
 		memo:     make(map[string]*entry),
 	}
@@ -213,8 +226,16 @@ func New(opts Options) *Engine {
 func (e *Engine) Workers() int { return e.workers }
 
 // Executed reports how many jobs have actually been simulated (memo
-// misses) over the engine's lifetime.
+// and cache misses) over the engine's lifetime.
 func (e *Engine) Executed() int64 { return atomic.LoadInt64(&e.finished) }
+
+// CacheHits reports how many memo misses were served from the
+// persistent ResultCache without simulating.
+func (e *Engine) CacheHits() int64 { return atomic.LoadInt64(&e.cacheHits) }
+
+// CachePutErrors reports how many cache write-backs failed (the jobs
+// themselves still succeeded).
+func (e *Engine) CachePutErrors() int64 { return atomic.LoadInt64(&e.cachePutErrs) }
 
 // Run executes the jobs and returns results in job order. Duplicate
 // jobs — within this call or against earlier calls on the same engine —
@@ -249,11 +270,29 @@ func (e *Engine) one(j Job) (stats.Results, error) {
 	ent := &entry{job: j, ready: make(chan struct{})}
 	e.memo[fp] = ent
 	e.mu.Unlock()
+
+	// Persistent-cache lookup happens outside the worker pool: a hit
+	// costs one read, never a simulation slot, and stays out of the
+	// [finished/claimed] progress accounting like memo hits do.
+	if e.cache != nil {
+		if res, ok := e.cache.Get(fp); ok {
+			ent.res = res
+			atomic.AddInt64(&e.cacheHits, 1)
+			close(ent.ready)
+			return ent.res, nil
+		}
+	}
 	atomic.AddInt64(&e.claimed, 1)
 
 	e.sem <- struct{}{}
 	ent.res, ent.err = e.run(j)
 	<-e.sem
+
+	if e.cache != nil && ent.err == nil {
+		if err := e.cache.Put(fp, ent.res); err != nil {
+			atomic.AddInt64(&e.cachePutErrs, 1)
+		}
+	}
 
 	k := atomic.AddInt64(&e.finished, 1)
 	close(ent.ready)
@@ -292,34 +331,61 @@ func (e *Engine) Snapshot() []Result {
 	return out
 }
 
-// Simulate is the default Run function: stream the job's dynamic
-// instructions — from a .cvt trace file when one is named, otherwise
-// from an in-process functional execution of the kernel — through the
-// timing simulator (the same path as clustervp.Run).
-func Simulate(j Job) (stats.Results, error) {
+// newSim builds the timing simulator for a job — replaying a .cvt
+// trace file when one is named, otherwise synthesizing the kernel
+// in-process — and returns the cleanup to run after simulation (nil
+// when nothing needs closing).
+func newSim(j Job) (*core.Sim, func() error, error) {
 	if j.Trace != "" {
 		fr, err := trace.OpenFile(j.Trace)
 		if err != nil {
-			return stats.Results{}, err
+			return nil, nil, err
 		}
-		defer fr.Close()
 		name := j.Kernel
 		if name == "" {
 			name = fr.Name()
 		}
 		sim, err := core.NewFromSource(j.Config, fr, name)
 		if err != nil {
-			return stats.Results{}, err
+			fr.Close()
+			return nil, nil, err
 		}
-		return sim.Run()
+		return sim, fr.Close, nil
 	}
 	prog, err := workload.Build(j.Kernel, j.EffectiveScale(), j.Seed)
 	if err != nil {
-		return stats.Results{}, err
+		return nil, nil, err
 	}
 	sim, err := core.New(j.Config, prog)
 	if err != nil {
+		return nil, nil, err
+	}
+	return sim, nil, nil
+}
+
+// Simulate is the default Run function: stream the job's dynamic
+// instructions — from a .cvt trace file when one is named, otherwise
+// from an in-process functional execution of the kernel — through the
+// timing simulator (the same path as clustervp.Run).
+func Simulate(j Job) (stats.Results, error) {
+	return SimulateWithProgress(j, 0, nil)
+}
+
+// SimulateWithProgress is Simulate with a periodic progress callback:
+// fn fires from the simulation goroutine every `every` cycles with the
+// current cycle and committed-instruction counts (the clusterd service
+// streams these as job events). A non-positive interval or nil fn runs
+// without progress.
+func SimulateWithProgress(j Job, every int64, fn func(core.Progress)) (stats.Results, error) {
+	sim, cleanup, err := newSim(j)
+	if err != nil {
 		return stats.Results{}, err
+	}
+	if cleanup != nil {
+		defer cleanup()
+	}
+	if fn != nil {
+		sim.SetProgress(every, fn)
 	}
 	return sim.Run()
 }

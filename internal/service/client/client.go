@@ -1,0 +1,222 @@
+// Package client speaks the clusterd HTTP API: job and grid
+// submission, status polling, event streaming, trace upload and server
+// stats. clustersim -remote is built on it; the wire types are the
+// service package's own, so client and server cannot drift apart.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"clustervp/internal/service"
+)
+
+// Client talks to one clusterd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the server at base (e.g.
+// "http://127.0.0.1:8090"). The underlying http.Client has no global
+// timeout: simulations legitimately run long, and Wait streams events.
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// apiError is the decoded {"error": ...} payload of a non-2xx reply.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("clusterd: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("clusterd: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+}
+
+// doJSON posts (or gets, when in is nil) and decodes a JSON reply.
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health checks GET /v1/healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.doJSON(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}
+
+// Stats fetches GET /v1/statsz.
+func (c *Client) Stats(ctx context.Context) (service.ServerStats, error) {
+	var st service.ServerStats
+	err := c.doJSON(ctx, http.MethodGet, "/v1/statsz", nil, &st)
+	return st, err
+}
+
+// SubmitJob posts one job and returns its accepted status (queued).
+func (c *Client) SubmitJob(ctx context.Context, req service.JobRequest) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.doJSON(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	return st, err
+}
+
+// SubmitGrid posts a grid and returns the expanded job IDs in grid
+// order.
+func (c *Client) SubmitGrid(ctx context.Context, req service.GridRequest) ([]string, error) {
+	var out struct {
+		Jobs []string `json:"jobs"`
+	}
+	err := c.doJSON(ctx, http.MethodPost, "/v1/grids", req, &out)
+	return out.Jobs, err
+}
+
+// Status fetches one job's status (including results once done).
+func (c *Client) Status(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Wait blocks until the job reaches a terminal state and returns its
+// final status. It rides the NDJSON events stream (so completion is
+// pushed, not polled); if the stream breaks it falls back to polling.
+func (c *Client) Wait(ctx context.Context, id string) (service.JobStatus, error) {
+	if err := c.waitEvents(ctx, id); err != nil {
+		if ctx.Err() != nil {
+			return service.JobStatus{}, ctx.Err()
+		}
+		if err := c.pollUntilDone(ctx, id); err != nil {
+			return service.JobStatus{}, err
+		}
+	}
+	return c.Status(ctx, id)
+}
+
+// waitEvents consumes the events stream until a terminal line.
+func (c *Client) waitEvents(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev service.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("clusterd: bad event line: %w", err)
+		}
+		if ev.State == service.StateDone || ev.State == service.StateFailed {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("clusterd: events stream for %s ended before a terminal state", id)
+}
+
+// pollUntilDone is the degraded-mode wait.
+func (c *Client) pollUntilDone(ctx context.Context, id string) error {
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return err
+		}
+		if st.State == service.StateDone || st.State == service.StateFailed {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// Run submits a job and waits for its terminal status — the one-call
+// remote equivalent of runner.Simulate.
+func (c *Client) Run(ctx context.Context, req service.JobRequest) (service.JobStatus, error) {
+	st, err := c.SubmitJob(ctx, req)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	return c.Wait(ctx, st.ID)
+}
+
+// UploadTrace streams a .cvt container to the server's trace store and
+// returns its content digest and record count.
+func (c *Client) UploadTrace(ctx context.Context, r io.Reader) (digest string, records uint64, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/traces", r)
+	if err != nil {
+		return "", 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return "", 0, apiError(resp)
+	}
+	var out struct {
+		Digest  string `json:"digest"`
+		Records uint64 `json:"records"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", 0, err
+	}
+	return out.Digest, out.Records, nil
+}
+
+// UploadTraceFile is UploadTrace over an on-disk .cvt file.
+func (c *Client) UploadTraceFile(ctx context.Context, path string) (digest string, records uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	return c.UploadTrace(ctx, f)
+}

@@ -1,0 +1,193 @@
+package service
+
+// The HTTP surface of the job server. Endpoints:
+//
+//	POST /v1/jobs             submit one job            -> 202 JobStatus
+//	POST /v1/grids            submit a machine×kernel×scale grid -> 202 {"jobs": [ids]}
+//	GET  /v1/jobs/{id}        status + stats.Results JSON
+//	GET  /v1/jobs/{id}/events NDJSON stream: queued → running (+progress) → done|failed
+//	POST /v1/traces           upload a .cvt trace       -> 201 {"digest", "records"}
+//	GET  /v1/healthz          liveness
+//	GET  /v1/statsz           queue depth, cache hit ratio, jobs/sec, ...
+//
+// Error mapping: validation failures are 400, unknown jobs 404, a full
+// queue 503 with Retry-After, a missing trace store 503. All errors are
+// JSON: {"error": "..."}.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// buildHandler assembles the route table once, at New.
+func (s *Server) buildHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("POST /v1/grids", s.handleSubmitGrid)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("POST /v1/traces", s.handleUploadTrace)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
+	return mux
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// ServeHTTP makes the Server itself mountable.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError maps service errors onto status codes.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrNoSuchJob):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	// A misspelled field silently dropped would simulate with defaults
+	// and return plausible but wrong results; reject it instead, the
+	// way the CLI rejects unknown flag values.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: body: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := s.Submit(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleSubmitGrid(w http.ResponseWriter, r *http.Request) {
+	var req GridRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	ids, err := s.SubmitGrid(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"jobs": ids, "count": len(ids)})
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobEvents streams job lifecycle and progress as NDJSON until
+// the job reaches a terminal state or the client goes away. The first
+// line is always the current snapshot, so a late subscriber of a done
+// job still gets exactly one meaningful line.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, ErrNoSuchJob)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev Event) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	ch, snap := j.subscribe()
+	defer j.unsubscribe(ch)
+	if !emit(snap) {
+		return
+	}
+	if snap.State == StateDone || snap.State == StateFailed {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			if !emit(ev) {
+				return
+			}
+		case <-j.terminal:
+			emit(j.terminalEvent())
+			return
+		}
+	}
+}
+
+func (s *Server) handleUploadTrace(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "this server has no trace store"})
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxTraceBytes)
+	digest, records, err := s.store.Put(body)
+	if err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				map[string]string{"error": "trace exceeds " + strconv.FormatInt(s.opts.MaxTraceBytes, 10) + " bytes"})
+			return
+		}
+		// A trace that fails decoding is a client-side problem: bad
+		// magic, version, CRC or truncation all map to 400.
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"digest": digest, "records": records})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,754 @@
+// Package service is the simulation-as-a-service layer: a long-lived
+// job server that accepts simulation jobs and grids as JSON over HTTP,
+// validates them with internal/config, queues them on a bounded
+// priority queue, and executes them through the runner.Engine — backed
+// by the in-memory memo and a persistent on-disk result cache keyed by
+// Job.Fingerprint(), so identical work is never re-simulated across
+// process restarts or replicas sharing a cache directory.
+//
+// Determinism: the queue pops jobs in (priority desc, submission seq
+// asc) order, simulation itself is deterministic, and results are
+// content-addressed by fingerprint — so any number of workers or
+// replicas executing a job space produce identical results, in the
+// spirit of deterministic work-sharding for parallel search frameworks.
+//
+// cmd/clusterd wraps this package in a binary; service/client speaks
+// the HTTP API (clustersim -remote uses it).
+package service
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clustervp/internal/config"
+	"clustervp/internal/core"
+	"clustervp/internal/runner"
+	"clustervp/internal/stats"
+	"clustervp/internal/trace"
+	"clustervp/internal/workload"
+)
+
+// Job lifecycle states: queued → running → done | failed.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull means the bounded queue cannot accept the submission
+	// (HTTP 503; grids are admitted all-or-nothing).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrNoSuchJob means the job ID is unknown (HTTP 404).
+	ErrNoSuchJob = errors.New("service: no such job")
+	// ErrBadRequest wraps validation failures (HTTP 400).
+	ErrBadRequest = errors.New("service: invalid request")
+)
+
+// JobRequest is the JSON body of POST /v1/jobs: a machine description
+// plus exactly one workload — a suite kernel or an uploaded trace
+// referenced by content digest.
+type JobRequest struct {
+	// Machine describes the simulated machine (see config.MachineSpec);
+	// the zero value is the paper's 4-cluster preset.
+	Machine config.MachineSpec `json:"machine"`
+	// Kernel names a Table 2 suite kernel; mutually exclusive with
+	// TraceDigest.
+	Kernel string `json:"kernel,omitempty"`
+	// Scale is the workload scale factor (0 = 1). Ignored for traces.
+	Scale int `json:"scale,omitempty"`
+	// Seed re-seeds the kernel inputs (0 = canonical). Ignored for traces.
+	Seed uint64 `json:"seed,omitempty"`
+	// TraceDigest replays a previously-uploaded .cvt trace
+	// ("sha256:<hex>", as returned by POST /v1/traces).
+	TraceDigest string `json:"trace_digest,omitempty"`
+	// Priority orders the queue: higher runs first; equal priorities
+	// run in submission order.
+	Priority int `json:"priority,omitempty"`
+}
+
+// GridRequest is the JSON body of POST /v1/grids: the cross-product of
+// machines × kernels × scales, expanded in row-major order exactly like
+// runner.Grid, admitted to the queue all-or-nothing.
+type GridRequest struct {
+	Machines []config.MachineSpec `json:"machines"`
+	Kernels  []string             `json:"kernels"`
+	// Scales defaults to [1].
+	Scales []int `json:"scales,omitempty"`
+	// Seed applies to every kernel instance.
+	Seed uint64 `json:"seed,omitempty"`
+	// Priority applies to every expanded job.
+	Priority int `json:"priority,omitempty"`
+}
+
+// JobStatus is the JSON representation of one job (GET /v1/jobs/{id}).
+type JobStatus struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	Kernel      string `json:"kernel,omitempty"`
+	Scale       int    `json:"scale,omitempty"`
+	Seed        uint64 `json:"seed,omitempty"`
+	TraceDigest string `json:"trace_digest,omitempty"`
+	Priority    int    `json:"priority,omitempty"`
+
+	SubmittedAt time.Time `json:"submitted_at,omitzero"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+
+	// Error is set on failed jobs.
+	Error string `json:"error,omitempty"`
+	// Results carries the full stats.Results record of a done job.
+	Results *stats.Results `json:"results,omitempty"`
+}
+
+// Event is one NDJSON line of GET /v1/jobs/{id}/events: a state
+// transition or a periodic progress snapshot of the running simulation.
+type Event struct {
+	State        string  `json:"state"`
+	Cycles       int64   `json:"cycles,omitempty"`
+	Instructions uint64  `json:"instructions,omitempty"`
+	IPC          float64 `json:"ipc,omitempty"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// ServerStats is the GET /v1/statsz payload.
+type ServerStats struct {
+	UptimeSec     float64 `json:"uptime_sec"`
+	Workers       int     `json:"workers"`
+	QueueCapacity int     `json:"queue_capacity"`
+	QueueDepth    int     `json:"queue_depth"`
+	Running       int     `json:"running"`
+
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsDone      int64 `json:"jobs_done"`
+	JobsFailed    int64 `json:"jobs_failed"`
+
+	// SimulationsExecuted counts actual simulator runs; CacheHits
+	// counts persistent-cache hits. Their sum is the unique work the
+	// server resolved; memo hits within the process appear in neither.
+	SimulationsExecuted int64   `json:"simulations_executed"`
+	CacheHits           int64   `json:"cache_hits"`
+	CachePutErrors      int64   `json:"cache_put_errors"`
+	CacheHitRatio       float64 `json:"cache_hit_ratio"`
+
+	JobsPerSec float64 `json:"jobs_per_sec"`
+}
+
+// Options configure a Server.
+type Options struct {
+	// Workers bounds concurrent simulations (<=0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds queued-but-not-running jobs (<=0 = 1024).
+	QueueDepth int
+	// CacheDir roots the persistent result cache; empty disables it
+	// (the in-memory memo still deduplicates within the process).
+	CacheDir string
+	// TraceDir roots the content-addressed trace store; empty disables
+	// trace uploads and trace-replay jobs.
+	TraceDir string
+	// ProgressInterval is the cycle interval between progress events on
+	// running jobs (<=0 = 50000).
+	ProgressInterval int64
+	// MaxTraceBytes bounds one trace upload (<=0 = 1 GiB).
+	MaxTraceBytes int64
+	// MaxJobRecords bounds retained job records (<=0 = 16384): once
+	// exceeded, the oldest *terminal* records are evicted (their
+	// results live on in the result cache; the records only feed
+	// /v1/jobs/{id}). Queued and running jobs are never evicted, so a
+	// long-lived server cannot leak memory per submission.
+	MaxJobRecords int
+	// Run overrides the simulator (tests inject stubs); nil = the real
+	// timing simulator with progress events.
+	Run func(runner.Job) (stats.Results, error)
+}
+
+// Server is the simulation job server. Create with New, expose with
+// Handler, stop with Close.
+type Server struct {
+	opts  Options
+	eng   *runner.Engine
+	cache *runner.DiskCache // nil when disabled
+	store *trace.Store      // nil when disabled
+	start time.Time
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // job IDs in submission order, for record eviction
+	queue   jobHeap
+	nextSeq int64
+	running int
+
+	submitted, done, failed atomic.Int64
+
+	// avail carries one token per queued job; workers block on it, so a
+	// token received guarantees a non-empty queue.
+	avail chan struct{}
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	// handler is the route table, built once in New (ServeHTTP must not
+	// rebuild a mux per request).
+	handler http.Handler
+
+	// fanouts fans simulation progress out to every service job
+	// currently running one fingerprint (the engine deduplicates
+	// executions; events must not be deduplicated with them). All
+	// registry mutations happen under fanMu so a finishing job's
+	// remove-and-delete cannot race a starting job's lookup-or-create
+	// into a dropped registration.
+	fanMu   sync.Mutex
+	fanouts map[string]*fanout
+}
+
+// New builds and starts a server (its workers run until Close).
+func New(opts Options) (*Server, error) {
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 1024
+	}
+	if opts.ProgressInterval <= 0 {
+		opts.ProgressInterval = 50_000
+	}
+	if opts.MaxTraceBytes <= 0 {
+		opts.MaxTraceBytes = 1 << 30
+	}
+	if opts.MaxJobRecords <= 0 {
+		opts.MaxJobRecords = 16384
+	}
+	if opts.MaxJobRecords < opts.QueueDepth {
+		// Every queued job must have a record, so the record bound can
+		// never be tighter than the queue bound.
+		opts.MaxJobRecords = opts.QueueDepth
+	}
+	s := &Server{
+		opts:    opts,
+		start:   time.Now(),
+		jobs:    make(map[string]*job),
+		avail:   make(chan struct{}, opts.QueueDepth),
+		quit:    make(chan struct{}),
+		fanouts: make(map[string]*fanout),
+	}
+	var cache runner.ResultCache
+	if opts.CacheDir != "" {
+		dc, err := runner.NewDiskCache(opts.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("service: result cache: %w", err)
+		}
+		s.cache = dc
+		cache = dc
+	}
+	if opts.TraceDir != "" {
+		st, err := trace.NewStore(opts.TraceDir)
+		if err != nil {
+			return nil, fmt.Errorf("service: trace store: %w", err)
+		}
+		s.store = st
+	}
+	s.eng = runner.New(runner.Options{
+		Workers: opts.Workers,
+		Cache:   cache,
+		Run:     s.simulate,
+	})
+	s.handler = s.buildHandler()
+	for i := 0; i < s.eng.Workers(); i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// simulate is the engine's run function: the real simulator with
+// progress fanned out to every job sharing the fingerprint, or the
+// injected test stub.
+func (s *Server) simulate(j runner.Job) (stats.Results, error) {
+	if s.opts.Run != nil {
+		return s.opts.Run(j)
+	}
+	if f := s.fanoutLookup(j.Fingerprint()); f != nil {
+		return runner.SimulateWithProgress(j, s.opts.ProgressInterval, f.publish)
+	}
+	return runner.Simulate(j)
+}
+
+// fanoutLookup returns the fanout currently registered for a
+// fingerprint, or nil.
+func (s *Server) fanoutLookup(fp string) *fanout {
+	s.fanMu.Lock()
+	defer s.fanMu.Unlock()
+	return s.fanouts[fp]
+}
+
+// fanoutAttach registers j for progress on its fingerprint, creating
+// the fanout if needed.
+func (s *Server) fanoutAttach(j *job) {
+	s.fanMu.Lock()
+	defer s.fanMu.Unlock()
+	f := s.fanouts[j.fp]
+	if f == nil {
+		f = &fanout{}
+		s.fanouts[j.fp] = f
+	}
+	f.add(j)
+}
+
+// fanoutDetach removes j and drops the fanout when it was the last
+// attached job. Attach and detach share fanMu, so a detach can never
+// delete a fanout a concurrent attach just joined.
+func (s *Server) fanoutDetach(j *job) {
+	s.fanMu.Lock()
+	defer s.fanMu.Unlock()
+	if f := s.fanouts[j.fp]; f != nil && f.remove(j) == 0 {
+		delete(s.fanouts, j.fp)
+	}
+}
+
+// Engine exposes the underlying grid engine (counters for statsz and
+// tests).
+func (s *Server) Engine() *runner.Engine { return s.eng }
+
+// TraceStore exposes the content-addressed trace store (nil when
+// disabled).
+func (s *Server) TraceStore() *trace.Store { return s.store }
+
+// Close stops the workers after their current jobs; queued jobs stay
+// queued (a restarted server re-resolves them from the cache anyway).
+func (s *Server) Close() {
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// buildJob validates a request into an executable job. Every failure
+// wraps ErrBadRequest.
+func (s *Server) buildJob(req JobRequest) (runner.Job, error) {
+	cfg, err := req.Machine.Build()
+	if err != nil {
+		return runner.Job{}, fmt.Errorf("%w: machine: %v", ErrBadRequest, err)
+	}
+	switch {
+	case req.TraceDigest != "" && req.Kernel != "":
+		return runner.Job{}, fmt.Errorf("%w: kernel and trace_digest are mutually exclusive", ErrBadRequest)
+	case req.TraceDigest != "":
+		if s.store == nil {
+			return runner.Job{}, fmt.Errorf("%w: this server has no trace store", ErrBadRequest)
+		}
+		path, err := s.store.Path(req.TraceDigest)
+		if err != nil {
+			return runner.Job{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		if !s.store.Has(req.TraceDigest) {
+			return runner.Job{}, fmt.Errorf("%w: trace %s not uploaded", ErrBadRequest, req.TraceDigest)
+		}
+		return runner.Job{Config: cfg, Trace: path}, nil
+	case req.Kernel != "":
+		if _, err := workload.ByName(req.Kernel); err != nil {
+			return runner.Job{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		return runner.Job{Config: cfg, Kernel: req.Kernel, Scale: req.Scale, Seed: req.Seed}, nil
+	default:
+		return runner.Job{}, fmt.Errorf("%w: one of kernel or trace_digest is required", ErrBadRequest)
+	}
+}
+
+// Submit validates and enqueues one job, returning its status snapshot.
+func (s *Server) Submit(req JobRequest) (JobStatus, error) {
+	rjob, err := s.buildJob(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) >= s.opts.QueueDepth {
+		return JobStatus{}, ErrQueueFull
+	}
+	j := s.enqueueLocked(req, rjob)
+	return j.status(), nil
+}
+
+// SubmitGrid expands the grid row-major and enqueues every job
+// all-or-nothing, returning the job IDs in grid order.
+func (s *Server) SubmitGrid(req GridRequest) ([]string, error) {
+	if len(req.Machines) == 0 || len(req.Kernels) == 0 {
+		return nil, fmt.Errorf("%w: a grid needs at least one machine and one kernel", ErrBadRequest)
+	}
+	scales := req.Scales
+	if len(scales) == 0 {
+		scales = []int{1}
+	}
+	var reqs []JobRequest
+	var rjobs []runner.Job
+	for _, m := range req.Machines {
+		for _, k := range req.Kernels {
+			for _, sc := range scales {
+				jr := JobRequest{Machine: m, Kernel: k, Scale: sc, Seed: req.Seed, Priority: req.Priority}
+				rj, err := s.buildJob(jr)
+				if err != nil {
+					return nil, err
+				}
+				reqs = append(reqs, jr)
+				rjobs = append(rjobs, rj)
+			}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue)+len(reqs) > s.opts.QueueDepth {
+		return nil, fmt.Errorf("%w: grid of %d jobs exceeds free queue capacity %d",
+			ErrQueueFull, len(reqs), s.opts.QueueDepth-len(s.queue))
+	}
+	ids := make([]string, len(reqs))
+	for i := range reqs {
+		ids[i] = s.enqueueLocked(reqs[i], rjobs[i]).id
+	}
+	return ids, nil
+}
+
+// enqueueLocked registers and queues a validated job; s.mu must be
+// held. The capacity check happened at the caller, so the avail send
+// cannot block.
+func (s *Server) enqueueLocked(req JobRequest, rjob runner.Job) *job {
+	s.nextSeq++
+	j := &job{
+		id:        fmt.Sprintf("j-%08d", s.nextSeq),
+		seq:       s.nextSeq,
+		priority:  req.Priority,
+		req:       req,
+		rjob:      rjob,
+		fp:        rjob.Fingerprint(),
+		state:     StateQueued,
+		submitted: time.Now(),
+		terminal:  make(chan struct{}),
+		subs:      make(map[chan Event]struct{}),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	heap.Push(&s.queue, j)
+	s.submitted.Add(1)
+	s.avail <- struct{}{}
+	return j
+}
+
+// evictLocked drops the oldest terminal job records once the retention
+// bound is exceeded; s.mu must be held. Non-terminal records are
+// skipped (and re-considered next time), so an in-flight job's status
+// is always resolvable.
+func (s *Server) evictLocked() {
+	if len(s.jobs) <= s.opts.MaxJobRecords {
+		return
+	}
+	kept := s.order[:0]
+	for i, id := range s.order {
+		if len(s.jobs) <= s.opts.MaxJobRecords {
+			kept = append(kept, s.order[i:]...)
+			break
+		}
+		j := s.jobs[id]
+		if j == nil {
+			continue
+		}
+		j.mu.Lock()
+		terminal := j.state == StateDone || j.state == StateFailed
+		j.mu.Unlock()
+		if terminal {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Status returns the status snapshot of a job.
+func (s *Server) Status(id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, ErrNoSuchJob
+	}
+	return j.status(), nil
+}
+
+// lookup returns the internal job record.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	return j, ok
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	depth := len(s.queue)
+	running := s.running
+	s.mu.Unlock()
+	uptime := time.Since(s.start).Seconds()
+	st := ServerStats{
+		UptimeSec:           uptime,
+		Workers:             s.eng.Workers(),
+		QueueCapacity:       s.opts.QueueDepth,
+		QueueDepth:          depth,
+		Running:             running,
+		JobsSubmitted:       s.submitted.Load(),
+		JobsDone:            s.done.Load(),
+		JobsFailed:          s.failed.Load(),
+		SimulationsExecuted: s.eng.Executed(),
+		CacheHits:           s.eng.CacheHits(),
+		CachePutErrors:      s.eng.CachePutErrors(),
+	}
+	if u := st.SimulationsExecuted + st.CacheHits; u > 0 {
+		st.CacheHitRatio = float64(st.CacheHits) / float64(u)
+	}
+	if uptime > 0 {
+		st.JobsPerSec = float64(st.JobsDone) / uptime
+	}
+	return st
+}
+
+// worker drains the queue until Close. One avail token is one queued
+// job, so a received token guarantees the pop succeeds.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-s.avail:
+			// A closed quit and a non-empty queue are both ready:
+			// re-check quit so Close never starts new work (the select
+			// above picks between ready cases at random).
+			select {
+			case <-s.quit:
+				return
+			default:
+			}
+			s.mu.Lock()
+			j := heap.Pop(&s.queue).(*job)
+			s.running++
+			s.mu.Unlock()
+			s.execute(j)
+			s.mu.Lock()
+			s.running--
+			s.mu.Unlock()
+		}
+	}
+}
+
+// execute runs one job through the engine, fanning progress out to
+// every job that shares the fingerprint while it runs.
+func (s *Server) execute(j *job) {
+	j.setRunning()
+	s.fanoutAttach(j)
+	r := s.eng.Run([]runner.Job{j.rjob})[0]
+	s.fanoutDetach(j)
+	if r.Err != nil {
+		s.failed.Add(1)
+	} else {
+		s.done.Add(1)
+	}
+	j.finish(r.Res, r.Err)
+}
+
+// fanout broadcasts core progress to the service jobs currently
+// running one fingerprint.
+type fanout struct {
+	mu   sync.Mutex
+	jobs []*job
+}
+
+func (f *fanout) add(j *job) {
+	f.mu.Lock()
+	f.jobs = append(f.jobs, j)
+	f.mu.Unlock()
+}
+
+// remove drops j and returns the remaining count.
+func (f *fanout) remove(j *job) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, x := range f.jobs {
+		if x == j {
+			f.jobs = append(f.jobs[:i], f.jobs[i+1:]...)
+			break
+		}
+	}
+	return len(f.jobs)
+}
+
+// publish delivers one progress snapshot to every attached job. Called
+// from the simulation goroutine: it must stay cheap and non-blocking.
+func (f *fanout) publish(p core.Progress) {
+	f.mu.Lock()
+	for _, j := range f.jobs {
+		j.progress(p)
+	}
+	f.mu.Unlock()
+}
+
+// job is the server-side record of one submitted simulation.
+type job struct {
+	id       string
+	seq      int64
+	priority int
+	req      JobRequest
+	rjob     runner.Job
+	fp       string
+
+	mu        sync.Mutex
+	state     string
+	res       stats.Results
+	hasRes    bool
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	lastProg  core.Progress
+	subs      map[chan Event]struct{}
+	terminal  chan struct{}
+}
+
+// status snapshots the job as its wire representation.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Kernel:      j.req.Kernel,
+		Scale:       j.rjob.EffectiveScale(),
+		Seed:        j.req.Seed,
+		TraceDigest: j.req.TraceDigest,
+		Priority:    j.priority,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+		Error:       j.errMsg,
+	}
+	if j.req.TraceDigest != "" {
+		st.Scale = 0
+	}
+	if j.hasRes {
+		res := j.res
+		st.Results = &res
+	}
+	return st
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.broadcastLocked(Event{State: StateRunning})
+	j.mu.Unlock()
+}
+
+func (j *job) finish(res stats.Results, err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	} else {
+		j.state = StateDone
+		j.res = res
+		j.hasRes = true
+	}
+	close(j.terminal)
+	j.mu.Unlock()
+}
+
+// progress records a snapshot and broadcasts it to subscribers.
+func (j *job) progress(p core.Progress) {
+	j.mu.Lock()
+	j.lastProg = p
+	j.broadcastLocked(Event{
+		State:        StateRunning,
+		Cycles:       p.Cycle,
+		Instructions: p.Instructions,
+		IPC:          p.IPC(),
+	})
+	j.mu.Unlock()
+}
+
+// broadcastLocked delivers an event to every subscriber without
+// blocking: a slow events reader drops intermediate progress, never
+// stalls the simulation.
+func (j *job) broadcastLocked(ev Event) {
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// subscribe attaches an event channel and returns it with the current
+// state snapshot.
+func (j *job) subscribe() (chan Event, Event) {
+	ch := make(chan Event, 32)
+	j.mu.Lock()
+	j.subs[ch] = struct{}{}
+	snap := j.snapshotEventLocked()
+	j.mu.Unlock()
+	return ch, snap
+}
+
+func (j *job) unsubscribe(ch chan Event) {
+	j.mu.Lock()
+	delete(j.subs, ch)
+	j.mu.Unlock()
+}
+
+// snapshotEventLocked renders the job's current state as one event.
+func (j *job) snapshotEventLocked() Event {
+	ev := Event{State: j.state, Error: j.errMsg}
+	switch {
+	case j.hasRes:
+		ev.Cycles = j.res.Cycles
+		ev.Instructions = j.res.Instructions
+		ev.IPC = j.res.IPC()
+	case j.lastProg.Cycle > 0:
+		ev.Cycles = j.lastProg.Cycle
+		ev.Instructions = j.lastProg.Instructions
+		ev.IPC = j.lastProg.IPC()
+	}
+	return ev
+}
+
+// terminalEvent is the final NDJSON line of an events stream.
+func (j *job) terminalEvent() Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapshotEventLocked()
+}
+
+// jobHeap orders the queue by (priority desc, submission seq asc):
+// deterministic pop order regardless of worker count.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(a, b int) bool {
+	if h[a].priority != h[b].priority {
+		return h[a].priority > h[b].priority
+	}
+	return h[a].seq < h[b].seq
+}
+func (h jobHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+var _ http.Handler = (*Server)(nil)
