@@ -8,12 +8,19 @@
 // Usage:
 //
 //	clusterd -addr 127.0.0.1:8090 -data ./clusterd-data
+//	clusterd -addr 127.0.0.1:8090 -data ./clusterd-data -tenants tenants.json
+//
+// With -tenants the server runs multi-tenant: every request (except
+// /v1/healthz and /metrics) must carry a configured API key, and each
+// tenant's admission quotas are enforced at submit time. Without it the
+// server runs open, as before.
 //
 // Endpoints (see ARCHITECTURE.md "Service layer" for the full table):
 //
 //	POST /v1/jobs    POST /v1/grids    GET /v1/jobs/{id}
 //	GET  /v1/jobs/{id}/events          POST /v1/traces
 //	GET  /v1/healthz                   GET /v1/statsz
+//	GET  /metrics    (Prometheus text format)
 //
 // The first line on stdout is "clusterd listening on http://<addr>",
 // with the actual port — so -addr 127.0.0.1:0 picks a free port and
@@ -25,6 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -44,11 +52,43 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 1024, "max queued jobs")
 	progress := flag.Int64("progress-interval", 50_000, "cycles between job progress events")
+	tenants := flag.String("tenants", "", "tenants file enabling API-key auth and per-tenant quotas (see ARCHITECTURE.md)")
+	logFormat := flag.String("log-format", "text", "request log format: text or json")
+	logLevel := flag.String("log-level", "info", "request log level: debug, info, warn or error")
 	flag.Parse()
 
-	if err := run(*addr, *data, *cacheDir, *traceDir, *workers, *queue, *progress); err != nil {
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clusterd:", err)
+		os.Exit(2)
+	}
+	if err := run(*addr, *data, *cacheDir, *traceDir, *tenants, workersQueue{*workers, *queue}, *progress, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "clusterd:", err)
 		os.Exit(1)
+	}
+}
+
+// workersQueue bundles the two pool knobs so run keeps a readable arity.
+type workersQueue struct {
+	workers int
+	queue   int
+}
+
+// buildLogger assembles the slog request logger on stderr, leaving
+// stdout to the "listening on" line scripts scrape.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: must be text or json", format)
 	}
 }
 
@@ -64,13 +104,30 @@ func resolveDir(override, data, sub string) string {
 	}
 }
 
-func run(addr, data, cacheDir, traceDir string, workers, queue int, progress int64) error {
+func run(addr, data, cacheDir, traceDir, tenantsPath string, wq workersQueue, progress int64, logger *slog.Logger) error {
+	var tenants []service.Tenant
+	if tenantsPath != "" {
+		var err error
+		tenants, err = service.LoadTenantsFile(tenantsPath)
+		if err != nil {
+			return err
+		}
+		// Names only — API keys must never reach the log stream.
+		names := make([]string, 0, len(tenants))
+		for _, t := range tenants {
+			names = append(names, t.Name)
+		}
+		logger.Info("multi-tenant mode", "tenants", names)
+	}
+
 	srv, err := service.New(service.Options{
-		Workers:          workers,
-		QueueDepth:       queue,
+		Workers:          wq.workers,
+		QueueDepth:       wq.queue,
 		CacheDir:         resolveDir(cacheDir, data, "results"),
 		TraceDir:         resolveDir(traceDir, data, "traces"),
 		ProgressInterval: progress,
+		Tenants:          tenants,
+		Logger:           logger,
 	})
 	if err != nil {
 		return err

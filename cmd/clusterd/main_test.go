@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"log/slog"
+	"testing"
+)
 
 // TestResolveDir pins the data-directory convention: empty means the
 // <data>-relative default, "off" disables, anything else is literal.
@@ -17,5 +20,31 @@ func TestResolveDir(t *testing.T) {
 		if got := resolveDir(tc.override, tc.data, tc.sub); got != tc.want {
 			t.Errorf("resolveDir(%q, %q, %q) = %q, want %q", tc.override, tc.data, tc.sub, got, tc.want)
 		}
+	}
+}
+
+// TestBuildLogger pins the -log-format/-log-level contract: both
+// handlers build, levels parse case-insensitively, and bad values are
+// command-line errors.
+func TestBuildLogger(t *testing.T) {
+	for _, tc := range []struct{ format, level string }{
+		{"text", "info"}, {"json", "debug"}, {"text", "WARN"}, {"json", "error"},
+	} {
+		logger, err := buildLogger(tc.format, tc.level)
+		if err != nil || logger == nil {
+			t.Errorf("buildLogger(%q, %q) = %v", tc.format, tc.level, err)
+		}
+	}
+	if logger, _ := buildLogger("text", "debug"); !logger.Enabled(nil, slog.LevelDebug) {
+		t.Error("-log-level debug does not enable debug records")
+	}
+	if logger, _ := buildLogger("text", "warn"); logger.Enabled(nil, slog.LevelInfo) {
+		t.Error("-log-level warn still enables info records")
+	}
+	if _, err := buildLogger("xml", "info"); err == nil {
+		t.Error("bad -log-format accepted")
+	}
+	if _, err := buildLogger("text", "loud"); err == nil {
+		t.Error("bad -log-level accepted")
 	}
 }

@@ -21,7 +21,9 @@
 // the -trace-in file first when one is named) and prints exactly what
 // the local run would print: both modes build their machine from the
 // same config.MachineSpec, and the returned stats.Results record is
-// rendered by the same code.
+// rendered by the same code. Against a multi-tenant server, pass the
+// tenant's API key with -api-key (or the CLUSTERSIM_API_KEY environment
+// variable, which keeps the key out of shell history).
 //
 // Unknown enum values (-vp, -steer, -topology) and unparsable -clusters
 // machine descriptions exit with status 2 and one shared message
@@ -107,6 +109,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceOut := fs.String("trace-out", "", "record the simulated instruction stream into this .cvt file")
 	asJSON := fs.Bool("json", false, "emit the result as a single JSON object instead of text")
 	remote := fs.String("remote", "", "submit the run to a clusterd server at this base URL instead of simulating locally")
+	apiKey := fs.String("api-key", "", "API key for a multi-tenant clusterd (requires -remote; also read from CLUSTERSIM_API_KEY)")
 	if err := fs.Parse(args); err != nil {
 		// A bare enum flag ("clustersim -vp") dies inside the flag
 		// package; still surface the shared choices table.
@@ -161,6 +164,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *remote != "" && *traceOut != "" {
 		return fail("-trace-out records locally and cannot be combined with -remote")
 	}
+	if *apiKey != "" && *remote == "" {
+		return fail("-api-key only makes sense with -remote")
+	}
 	// MachineSpec treats zero as "keep the default", so flag values the
 	// old builder chain would have rejected must be rejected here.
 	if *commlat < 1 || *rename < 1 || *vptable < 1 || *scale < 1 || *maxCycles < 0 || *paths < 0 {
@@ -193,7 +199,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// cycle budget, watchdog, remote failure) — report on stderr, exit 1.
 	var r clustervp.Results
 	if *remote != "" {
-		r, err = runRemote(*remote, spec, *kernel, *scale, *seed, *traceIn)
+		key := *apiKey
+		if key == "" {
+			key = os.Getenv("CLUSTERSIM_API_KEY")
+		}
+		r, err = runRemote(*remote, key, spec, *kernel, *scale, *seed, *traceIn)
 	} else {
 		r, err = simulate(cfg, *kernel, *scale, *seed, *traceIn, *traceOut)
 	}
@@ -245,9 +255,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 // result. A -trace-in file is uploaded to the server's
 // content-addressed store first and referenced by digest, so the
 // server replays exactly the bytes the local run would.
-func runRemote(base string, spec config.MachineSpec, kernel string, scale int, seed uint64, traceIn string) (clustervp.Results, error) {
+func runRemote(base, apiKey string, spec config.MachineSpec, kernel string, scale int, seed uint64, traceIn string) (clustervp.Results, error) {
 	ctx := context.Background()
-	c := client.New(base)
+	var opts []client.Option
+	if apiKey != "" {
+		opts = append(opts, client.WithAPIKey(apiKey))
+	}
+	c := client.New(base, opts...)
 	req := service.JobRequest{Machine: spec, Kernel: kernel, Scale: scale, Seed: seed}
 	if traceIn != "" {
 		digest, _, err := c.UploadTraceFile(ctx, traceIn)

@@ -317,3 +317,34 @@ func TestTraceOutThenInIdenticalCounters(t *testing.T) {
 		t.Errorf("benchmark labels: recorded %q, replayed %q (want gsmdec)", a.Kernel, b.Kernel)
 	}
 }
+
+// TestAPIKeyRequiresRemote: -api-key without -remote is a command-line
+// error (exit 2), like the other flag-combination checks.
+func TestAPIKeyRequiresRemote(t *testing.T) {
+	code, _, stderr := cli(t, "-kernel", "rawcaudio", "-api-key", "some-key-0001")
+	if code != 2 || !strings.Contains(stderr, "-api-key") {
+		t.Errorf("-api-key without -remote: code=%d stderr=%q, want 2 naming the flag", code, stderr)
+	}
+}
+
+// TestRemoteWithAPIKey drives -remote against a multi-tenant clusterd:
+// keyless submission fails with the server's unauthorized error (exit
+// 1), the flag authenticates, and CLUSTERSIM_API_KEY is the fallback.
+func TestRemoteWithAPIKey(t *testing.T) {
+	base := startClusterd(t, service.Options{
+		Tenants: []service.Tenant{{Name: "alice", Key: "alice-key-0001"}},
+	})
+	args := []string{"-kernel", "rawcaudio", "-clusters", "2", "-remote", base}
+
+	code, _, stderr := cli(t, args...)
+	if code != 1 || !strings.Contains(stderr, "unauthorized") {
+		t.Errorf("keyless remote run: code=%d stderr=%q, want 1 with unauthorized", code, stderr)
+	}
+	if code, _, stderr := cli(t, append(args, "-api-key", "alice-key-0001")...); code != 0 {
+		t.Errorf("-api-key run exited %d: %s", code, stderr)
+	}
+	t.Setenv("CLUSTERSIM_API_KEY", "alice-key-0001")
+	if code, _, stderr := cli(t, args...); code != 0 {
+		t.Errorf("CLUSTERSIM_API_KEY run exited %d: %s", code, stderr)
+	}
+}

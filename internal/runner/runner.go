@@ -105,11 +105,40 @@ func (j Job) String() string {
 		displayName(j.Config), work, j.Config.VP, j.Config.Steering, topo, j.EffectiveScale())
 }
 
+// Via reports how a job's result was resolved. The service layer uses
+// it to attribute work to tenants: only ViaSimulated occupied a worker,
+// ViaCache cost one disk read, ViaMemo cost nothing.
+type Via uint8
+
+const (
+	// ViaSimulated: the job ran through the timing simulator.
+	ViaSimulated Via = iota
+	// ViaMemo: served by the in-process memo (including duplicates that
+	// waited on an in-flight simulation).
+	ViaMemo
+	// ViaCache: served by the persistent ResultCache without simulating.
+	ViaCache
+)
+
+func (v Via) String() string {
+	switch v {
+	case ViaMemo:
+		return "memo"
+	case ViaCache:
+		return "cache"
+	default:
+		return "simulated"
+	}
+}
+
 // Result pairs a job with its outcome.
 type Result struct {
 	Job Job
 	Res stats.Results
 	Err error
+	// Via records whether the result came from the simulator, the
+	// in-process memo, or the persistent cache.
+	Via Via
 }
 
 // Grid declares a cross-product of configurations, kernels and scales.
@@ -174,6 +203,7 @@ type entry struct {
 	ready chan struct{}
 	res   stats.Results
 	err   error
+	via   Via // how the claiming goroutine resolved the slot
 }
 
 // Engine executes jobs with memoization. It is safe for concurrent use;
@@ -200,6 +230,10 @@ type Engine struct {
 	// without simulating; cachePutErrs counts failed write-backs.
 	cacheHits    int64
 	cachePutErrs int64
+	// simInstrs accumulates committed instructions across executed
+	// simulations (memo and cache hits add nothing — no instructions
+	// were simulated for them).
+	simInstrs uint64
 }
 
 // New returns an engine with the given options.
@@ -237,6 +271,11 @@ func (e *Engine) CacheHits() int64 { return atomic.LoadInt64(&e.cacheHits) }
 // themselves still succeeded).
 func (e *Engine) CachePutErrors() int64 { return atomic.LoadInt64(&e.cachePutErrs) }
 
+// SimInstructions reports the total committed instructions across every
+// simulation the engine actually executed — the numerator of a
+// sim-instrs/s throughput figure. Memo and cache hits add nothing.
+func (e *Engine) SimInstructions() uint64 { return atomic.LoadUint64(&e.simInstrs) }
+
 // Run executes the jobs and returns results in job order. Duplicate
 // jobs — within this call or against earlier calls on the same engine —
 // are simulated once and share the memoized result. Per-job errors are
@@ -248,8 +287,8 @@ func (e *Engine) Run(jobs []Job) []Result {
 		wg.Add(1)
 		go func(i int, j Job) {
 			defer wg.Done()
-			res, err := e.one(j)
-			out[i] = Result{Job: j, Res: res, Err: err}
+			res, err, via := e.one(j)
+			out[i] = Result{Job: j, Res: res, Err: err, Via: via}
 		}(i, j)
 	}
 	wg.Wait()
@@ -259,13 +298,15 @@ func (e *Engine) Run(jobs []Job) []Result {
 // one resolves a single job through the memo, simulating at most once
 // per fingerprint. Only the goroutine that claims the memo slot takes a
 // worker token; duplicates block on ready without occupying the pool.
-func (e *Engine) one(j Job) (stats.Results, error) {
+// The returned Via distinguishes the claiming resolution (simulated or
+// cache) from duplicates, which always report a memo hit.
+func (e *Engine) one(j Job) (stats.Results, error, Via) {
 	fp := j.Fingerprint()
 	e.mu.Lock()
 	if ent, ok := e.memo[fp]; ok {
 		e.mu.Unlock()
 		<-ent.ready
-		return ent.res, ent.err
+		return ent.res, ent.err, ViaMemo
 	}
 	ent := &entry{job: j, ready: make(chan struct{})}
 	e.memo[fp] = ent
@@ -277,9 +318,10 @@ func (e *Engine) one(j Job) (stats.Results, error) {
 	if e.cache != nil {
 		if res, ok := e.cache.Get(fp); ok {
 			ent.res = res
+			ent.via = ViaCache
 			atomic.AddInt64(&e.cacheHits, 1)
 			close(ent.ready)
-			return ent.res, nil
+			return ent.res, nil, ViaCache
 		}
 	}
 	atomic.AddInt64(&e.claimed, 1)
@@ -287,6 +329,7 @@ func (e *Engine) one(j Job) (stats.Results, error) {
 	e.sem <- struct{}{}
 	ent.res, ent.err = e.run(j)
 	<-e.sem
+	atomic.AddUint64(&e.simInstrs, ent.res.Instructions)
 
 	if e.cache != nil && ent.err == nil {
 		if err := e.cache.Put(fp, ent.res); err != nil {
@@ -305,7 +348,7 @@ func (e *Engine) one(j Job) (stats.Results, error) {
 			fmt.Fprintf(e.progress, "[%d/%d] %s: IPC=%.3f cycles=%d\n", k, n, j, ent.res.IPC(), ent.res.Cycles)
 		}
 	}
-	return ent.res, ent.err
+	return ent.res, ent.err, ViaSimulated
 }
 
 // Snapshot returns every completed unique job the engine has run, in a
@@ -325,7 +368,7 @@ func (e *Engine) Snapshot() []Result {
 	out := make([]Result, len(fps))
 	for i, fp := range fps {
 		ent := e.memo[fp]
-		out[i] = Result{Job: ent.job, Res: ent.res, Err: ent.err}
+		out[i] = Result{Job: ent.job, Res: ent.res, Err: ent.err, Via: ent.via}
 	}
 	e.mu.Unlock()
 	return out

@@ -1,0 +1,173 @@
+package client
+
+// Multi-tenant client tests: the API key rides every request path
+// (submit, status, the events stream behind Wait, trace upload), and
+// non-2xx replies decode into *APIError with the server's stable code.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clustervp/internal/runner"
+	"clustervp/internal/service"
+	"clustervp/internal/stats"
+	"clustervp/internal/trace"
+	"clustervp/internal/workload"
+)
+
+var testTenants = []service.Tenant{
+	{Name: "alice", Key: "alice-key-0001", MaxInFlight: 1},
+	{Name: "bob", Key: "bob-key-0001"},
+}
+
+func TestClientAPIKeyOnEveryPath(t *testing.T) {
+	s, err := service.New(service.Options{
+		Workers:  2,
+		TraceDir: t.TempDir(),
+		Tenants:  testTenants,
+		Run: func(j runner.Job) (stats.Results, error) {
+			return stats.Results{Benchmark: j.Kernel, Cycles: 10, Instructions: 20}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	ctx := context.Background()
+
+	// Without a key every authenticated path is 401 unauthorized.
+	anon := New(ts.URL)
+	var apiErr *APIError
+	if _, err := anon.SubmitJob(ctx, service.JobRequest{Kernel: "rawcaudio"}); !errors.As(err, &apiErr) ||
+		apiErr.Code != service.CodeUnauthorized || apiErr.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("keyless submit err = %v, want 401 unauthorized APIError", err)
+	}
+
+	// With a key, submit → Wait (events stream) → Status all succeed,
+	// which exercises the key on every request the client can make.
+	c := New(ts.URL, WithAPIKey("bob-key-0001"))
+	st, err := c.Run(ctx, service.JobRequest{Kernel: "rawcaudio"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.StateDone || st.Tenant != "bob" {
+		t.Fatalf("remote run state=%q tenant=%q, want done as bob", st.State, st.Tenant)
+	}
+
+	// Trace upload carries the key too.
+	prog, err := workload.Build("rawcaudio", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.cvt")
+	if _, err := trace.WriteFile(path, prog.Name, prog.Code, trace.NewExecutor(prog)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.UploadTraceFile(ctx, path); err != nil {
+		t.Fatalf("authenticated upload failed: %v", err)
+	}
+	if _, _, err := anon.UploadTraceFile(ctx, path); !errors.As(err, &apiErr) ||
+		apiErr.Code != service.CodeUnauthorized {
+		t.Errorf("keyless upload err = %v, want unauthorized APIError", err)
+	}
+
+	// Tenant isolation surfaces as not_found.
+	peek := New(ts.URL, WithAPIKey("alice-key-0001"))
+	if _, err := peek.Status(ctx, st.ID); !errors.As(err, &apiErr) ||
+		apiErr.Code != service.CodeNotFound {
+		t.Errorf("cross-tenant status err = %v, want not_found APIError", err)
+	}
+}
+
+func TestClientQuotaErrorCarriesRetryAfter(t *testing.T) {
+	block := make(chan struct{})
+	s, err := service.New(service.Options{
+		Workers: 1,
+		Tenants: testTenants,
+		Run: func(j runner.Job) (stats.Results, error) {
+			<-block
+			return stats.Results{Cycles: 1, Instructions: 1}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { close(block); s.Close() })
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	ctx := context.Background()
+
+	// alice's max_in_flight is 1: the first job occupies it, the second
+	// is shed with a machine-readable 429.
+	c := New(ts.URL, WithAPIKey("alice-key-0001"))
+	if _, err := c.SubmitJob(ctx, service.JobRequest{Kernel: "rawcaudio", Scale: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.SubmitJob(ctx, service.JobRequest{Kernel: "rawcaudio", Scale: 2})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("over-quota err = %v, want *APIError", err)
+	}
+	if apiErr.Code != service.CodeQuotaExceeded || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("over-quota = %q/%d, want quota_exceeded/429", apiErr.Code, apiErr.StatusCode)
+	}
+	if apiErr.RetryAfterSec <= 0 {
+		t.Errorf("RetryAfterSec = %d, want > 0", apiErr.RetryAfterSec)
+	}
+	if apiErr.Details["tenant"] != "alice" {
+		t.Errorf("details = %v, want the tenant named", apiErr.Details)
+	}
+	if !strings.Contains(apiErr.Error(), "quota_exceeded") {
+		t.Errorf("Error() = %q, want the code included", apiErr.Error())
+	}
+}
+
+// TestAPIErrorLegacyFallback: a pre-envelope server (or a proxy) that
+// answers {"error": "..."} or plain text still yields a useful message.
+func TestAPIErrorLegacyFallback(t *testing.T) {
+	for _, tc := range []struct {
+		body, want string
+	}{
+		{`{"error": "old-style message"}`, "old-style message"},
+		{"plain text failure", "plain text failure"},
+	} {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, tc.body, http.StatusBadGateway)
+		}))
+		c := New(ts.URL)
+		err := c.Health(context.Background())
+		ts.Close()
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("legacy error = %v, want *APIError", err)
+		}
+		if apiErr.StatusCode != http.StatusBadGateway || apiErr.Code != "" ||
+			!strings.Contains(apiErr.Message, strings.Trim(tc.want, `"`)) {
+			t.Errorf("legacy decode of %q = %+v", tc.body, apiErr)
+		}
+	}
+}
+
+// TestOpenModeUnaffected: a keyless client against an open server works
+// exactly as before the tenant layer existed.
+func TestOpenModeUnaffected(t *testing.T) {
+	c, _ := newClientServer(t, service.Options{
+		Run: func(j runner.Job) (stats.Results, error) {
+			return stats.Results{Benchmark: j.Kernel, Cycles: 5, Instructions: 10}, nil
+		},
+	})
+	st, err := c.Run(context.Background(), service.JobRequest{Kernel: "rawcaudio"})
+	if err != nil || st.State != service.StateDone {
+		t.Fatalf("open-mode run state=%q err=%v", st.State, err)
+	}
+	if st.Tenant != "anonymous" {
+		t.Errorf("open-mode tenant = %q, want anonymous", st.Tenant)
+	}
+}

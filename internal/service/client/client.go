@@ -2,6 +2,16 @@
 // submission, status polling, event streaming, trace upload and server
 // stats. clustersim -remote is built on it; the wire types are the
 // service package's own, so client and server cannot drift apart.
+//
+// Non-2xx replies decode into *APIError, so callers switch on the
+// server's stable machine-readable code instead of string-matching
+// messages:
+//
+//	_, err := c.SubmitJob(ctx, req)
+//	var apiErr *client.APIError
+//	if errors.As(err, &apiErr) && apiErr.Code == service.CodeQuotaExceeded {
+//	    backoff(apiErr.RetryAfterSec)
+//	}
 package client
 
 import (
@@ -13,6 +23,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -21,27 +32,95 @@ import (
 
 // Client talks to one clusterd instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base   string
+	apiKey string
+	hc     *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithAPIKey authenticates every request against a multi-tenant server
+// (sent as "Authorization: Bearer <key>").
+func WithAPIKey(key string) Option {
+	return func(c *Client) { c.apiKey = key }
+}
+
+// WithHTTPClient substitutes the underlying http.Client.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
 }
 
 // New returns a client for the server at base (e.g.
 // "http://127.0.0.1:8090"). The underlying http.Client has no global
 // timeout: simulations legitimately run long, and Wait streams events.
-func New(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
-// apiError is the decoded {"error": ...} payload of a non-2xx reply.
+// APIError is a non-2xx reply from the server, decoded from its
+// versioned error envelope. Code is the stable contract (the
+// service.Code* constants); Message is human-readable and may change.
+type APIError struct {
+	StatusCode    int
+	Code          string
+	Message       string
+	RetryAfterSec int
+	Details       map[string]string
+}
+
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("clusterd: %s (%s, HTTP %d)", e.Message, e.Code, e.StatusCode)
+	}
+	return fmt.Sprintf("clusterd: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// apiError decodes a non-2xx reply into *APIError: the versioned
+// envelope first, the pre-envelope {"error": "..."} shape as a
+// fallback, and the raw body as a last resort — an old server or a
+// proxy in the middle still yields a useful error.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-	var e struct {
+	out := &APIError{StatusCode: resp.StatusCode}
+	if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+		out.RetryAfterSec = sec
+	}
+	var env service.ErrorEnvelope
+	if json.Unmarshal(body, &env) == nil && env.Error.Code != "" {
+		out.Code = env.Error.Code
+		out.Message = env.Error.Message
+		out.Details = env.Error.Details
+		if env.Error.RetryAfterSec > 0 {
+			out.RetryAfterSec = env.Error.RetryAfterSec
+		}
+		return out
+	}
+	var legacy struct {
 		Error string `json:"error"`
 	}
-	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("clusterd: %s (HTTP %d)", e.Error, resp.StatusCode)
+	if json.Unmarshal(body, &legacy) == nil && legacy.Error != "" {
+		out.Message = legacy.Error
+		return out
 	}
-	return fmt.Errorf("clusterd: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	out.Message = strings.TrimSpace(string(body))
+	return out
+}
+
+// newRequest builds a request with the client's credentials attached.
+func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
+	return req, nil
 }
 
 // doJSON posts (or gets, when in is nil) and decodes a JSON reply.
@@ -54,7 +133,7 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) e
 		}
 		body = bytes.NewReader(data)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	req, err := c.newRequest(ctx, method, path, body)
 	if err != nil {
 		return err
 	}
@@ -128,7 +207,7 @@ func (c *Client) Wait(ctx context.Context, id string) (service.JobStatus, error)
 
 // waitEvents consumes the events stream until a terminal line.
 func (c *Client) waitEvents(ctx context.Context, id string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	req, err := c.newRequest(ctx, http.MethodGet, "/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return err
 	}
@@ -188,7 +267,7 @@ func (c *Client) Run(ctx context.Context, req service.JobRequest) (service.JobSt
 // UploadTrace streams a .cvt container to the server's trace store and
 // returns its content digest and record count.
 func (c *Client) UploadTrace(ctx context.Context, r io.Reader) (digest string, records uint64, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/traces", r)
+	req, err := c.newRequest(ctx, http.MethodPost, "/v1/traces", r)
 	if err != nil {
 		return "", 0, err
 	}

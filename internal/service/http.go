@@ -4,25 +4,40 @@ package service
 //
 //	POST /v1/jobs             submit one job            -> 202 JobStatus
 //	POST /v1/grids            submit a machine×kernel×scale grid -> 202 {"jobs": [ids]}
-//	GET  /v1/jobs/{id}        status + stats.Results JSON
+//	GET  /v1/jobs/{id}        status + stats.Results JSON (tenant-scoped)
 //	GET  /v1/jobs/{id}/events NDJSON stream: queued → running (+progress) → done|failed
 //	POST /v1/traces           upload a .cvt trace       -> 201 {"digest", "records"}
-//	GET  /v1/healthz          liveness
-//	GET  /v1/statsz           queue depth, cache hit ratio, jobs/sec, ...
+//	GET  /v1/healthz          liveness (unauthenticated)
+//	GET  /v1/statsz           queue/cache/tenant sections, schema_version
+//	GET  /metrics             Prometheus text exposition (unauthenticated)
 //
-// Error mapping: validation failures are 400, unknown jobs 404, a full
-// queue 503 with Retry-After, a missing trace store 503. All errors are
-// JSON: {"error": "..."}.
+// Every request flows through instrument (latency metrics + slog
+// request log) and authenticate (API-key → tenant, when tenants are
+// configured). Every non-2xx body is one versioned ErrorEnvelope with
+// a stable machine-readable code: validation failures are 400
+// invalid_spec, unknown jobs — including another tenant's jobs — 404
+// not_found, a missing key 401 unauthorized, an exhausted tenant quota
+// 429 quota_exceeded (Retry-After set), a full queue 503 queue_full
+// (Retry-After set), an oversized upload 413 payload_too_large, and a
+// trace upload on a server without a trace store 501
+// trace_store_disabled. Unrouted paths and wrong methods get envelopes
+// too (not_found / method_not_allowed), so no caller ever has to parse
+// a plain-text error.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
+	"time"
 )
 
-// buildHandler assembles the route table once, at New.
+// buildHandler assembles the route table and middleware chain once, at
+// New: instrument → authenticate → envelope fallback → mux.
 func (s *Server) buildHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
@@ -32,7 +47,8 @@ func (s *Server) buildHandler() http.Handler {
 	mux.HandleFunc("POST /v1/traces", s.handleUploadTrace)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
-	return mux
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.instrument(s.authenticate(envelopeFallback(mux)))
 }
 
 // Handler returns the server's HTTP API.
@@ -43,6 +59,213 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
 }
 
+// ctxKey keys the per-request info holder.
+type ctxKey struct{}
+
+// reqInfo carries per-request attribution across the middleware chain:
+// instrument injects it, authenticate fills the tenant, handlers add
+// job IDs and fingerprints, instrument logs it all on the way out.
+type reqInfo struct {
+	tenant *tenantState
+	jobID  string
+	fp     string
+	jobs   int // grid submissions: expanded job count
+}
+
+// infoFrom returns the request's info holder (never nil: instrument
+// injects one; a bare handler invocation in tests gets a throwaway).
+func infoFrom(ctx context.Context) *reqInfo {
+	if ri, ok := ctx.Value(ctxKey{}).(*reqInfo); ok {
+		return ri
+	}
+	return &reqInfo{}
+}
+
+// tenantOf resolves the request's tenant, defaulting to anonymous for
+// handlers invoked without the middleware chain (direct tests).
+func (s *Server) tenantOf(r *http.Request) *tenantState {
+	if t := infoFrom(r.Context()).tenant; t != nil {
+		return t
+	}
+	return s.anonymous
+}
+
+// statusWriter captures the status code and preserves http.Flusher for
+// the NDJSON events stream.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps the whole chain: it injects the reqInfo holder,
+// measures latency into the Prometheus histograms, and emits one
+// structured request log line with tenant/job/fingerprint attribution.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ri := &reqInfo{}
+		r = r.WithContext(context.WithValue(r.Context(), ctxKey{}, ri))
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		// The mux pattern is the metrics route label — bounded
+		// cardinality; unrouted probes collapse into one label.
+		route := r.Pattern
+		if route == "" {
+			route = "unrouted"
+		}
+		dur := time.Since(start)
+		s.metrics.observeHTTP(route, r.Method, sw.status, dur)
+		attrs := []slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", dur),
+		}
+		if ri.tenant != nil {
+			attrs = append(attrs, slog.String("tenant", ri.tenant.cfg.Name))
+		}
+		if ri.jobID != "" {
+			attrs = append(attrs, slog.String("job", ri.jobID))
+		}
+		if ri.fp != "" {
+			attrs = append(attrs, slog.String("fingerprint", ri.fp))
+		}
+		if ri.jobs > 0 {
+			attrs = append(attrs, slog.Int("jobs", ri.jobs))
+		}
+		level := slog.LevelInfo
+		if sw.status >= 500 {
+			level = slog.LevelError
+		} else if sw.status >= 400 {
+			level = slog.LevelWarn
+		}
+		s.logger.LogAttrs(r.Context(), level, "http request", attrs...)
+	})
+}
+
+// openEndpoints never require a key: load balancers probe healthz and
+// Prometheus scrapes metrics without tenant credentials.
+func openEndpoint(path string) bool {
+	return path == "/v1/healthz" || path == "/metrics"
+}
+
+// authenticate resolves the caller's tenant. With no tenants configured
+// the server runs open and every request acts as the anonymous tenant;
+// with tenants, a missing or unknown key is 401 unauthorized.
+func (s *Server) authenticate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ri := infoFrom(r.Context())
+		if !s.multiTenant {
+			ri.tenant = s.anonymous
+			next.ServeHTTP(w, r)
+			return
+		}
+		if openEndpoint(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		key := apiKey(r)
+		if key == "" {
+			writeError(w, fmt.Errorf("%w: missing API key (use Authorization: Bearer or X-API-Key)", ErrUnauthorized))
+			return
+		}
+		t := lookupByKey(s.tenants, key)
+		if t == nil {
+			writeError(w, fmt.Errorf("%w: unknown API key", ErrUnauthorized))
+			return
+		}
+		ri.tenant = t
+		next.ServeHTTP(w, r)
+	})
+}
+
+// apiKey extracts the presented key: "Authorization: Bearer <key>"
+// wins, "X-API-Key: <key>" is the fallback.
+func apiKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		const prefix = "bearer "
+		if len(auth) > len(prefix) && strings.EqualFold(auth[:len(prefix)], prefix) {
+			return strings.TrimSpace(auth[len(prefix):])
+		}
+		return ""
+	}
+	return strings.TrimSpace(r.Header.Get("X-API-Key"))
+}
+
+// envelopeWriter rewrites the mux's own plain-text 404/405 bodies into
+// error envelopes. Handler-written envelopes set an application/json
+// Content-Type before WriteHeader, so they pass through untouched.
+type envelopeWriter struct {
+	http.ResponseWriter
+	replaced bool
+}
+
+func (w *envelopeWriter) WriteHeader(code int) {
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		!strings.Contains(w.Header().Get("Content-Type"), "json") {
+		w.replaced = true
+		apiCode := CodeNotFound
+		msg := "no such endpoint"
+		if code == http.StatusMethodNotAllowed {
+			apiCode = CodeMethodNotAllowed
+			msg = "method not allowed"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Del("X-Content-Type-Options")
+		w.ResponseWriter.WriteHeader(code)
+		json.NewEncoder(w.ResponseWriter).Encode(ErrorEnvelope{
+			SchemaVersion: SchemaVersion,
+			Error:         APIError{Code: apiCode, Message: msg},
+		})
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *envelopeWriter) Write(b []byte) (int, error) {
+	if w.replaced {
+		return len(b), nil // swallow the mux's plain-text body
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *envelopeWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// envelopeFallback guarantees the no-non-envelope-errors contract for
+// responses the mux writes itself (unknown paths, wrong methods).
+func envelopeFallback(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
+	})
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -51,19 +274,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-// writeError maps service errors onto status codes.
+// writeError renders a service error as its versioned envelope.
 func writeError(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, ErrBadRequest):
-		code = http.StatusBadRequest
-	case errors.Is(err, ErrNoSuchJob):
-		code = http.StatusNotFound
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		code = http.StatusServiceUnavailable
+	status, env := envelope(err)
+	if env.Error.RetryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(env.Error.RetryAfterSec))
 	}
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	writeJSON(w, status, env)
 }
 
 func decodeBody(r *http.Request, v any) error {
@@ -73,6 +290,10 @@ func decodeBody(r *http.Request, v any) error {
 	// way the CLI rejects unknown flag values.
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return fmt.Errorf("%w: body exceeds %d bytes", ErrPayloadTooLarge, maxErr.Limit)
+		}
 		return fmt.Errorf("%w: body: %v", ErrBadRequest, err)
 	}
 	return nil
@@ -84,11 +305,13 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	st, err := s.Submit(req)
+	st, err := s.submitAs(s.tenantOf(r), req)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	ri := infoFrom(r.Context())
+	ri.jobID = st.ID
 	writeJSON(w, http.StatusAccepted, st)
 }
 
@@ -98,21 +321,25 @@ func (s *Server) handleSubmitGrid(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	ids, err := s.SubmitGrid(req)
+	ids, err := s.submitGridAs(s.tenantOf(r), req)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	infoFrom(r.Context()).jobs = len(ids)
 	writeJSON(w, http.StatusAccepted, map[string]any{"jobs": ids, "count": len(ids)})
 }
 
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
-	st, err := s.Status(r.PathValue("id"))
-	if err != nil {
-		writeError(w, err)
+	j, ok := s.lookupFor(s.tenantOf(r), r.PathValue("id"))
+	if !ok {
+		writeError(w, ErrNoSuchJob)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	ri := infoFrom(r.Context())
+	ri.jobID = j.id
+	ri.fp = j.fp
+	writeJSON(w, http.StatusOK, j.status())
 }
 
 // handleJobEvents streams job lifecycle and progress as NDJSON until
@@ -120,11 +347,14 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 // line is always the current snapshot, so a late subscriber of a done
 // job still gets exactly one meaningful line.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.lookup(r.PathValue("id"))
+	j, ok := s.lookupFor(s.tenantOf(r), r.PathValue("id"))
 	if !ok {
 		writeError(w, ErrNoSuchJob)
 		return
 	}
+	ri := infoFrom(r.Context())
+	ri.jobID = j.id
+	ri.fp = j.fp
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -164,7 +394,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleUploadTrace(w http.ResponseWriter, r *http.Request) {
 	if s.store == nil {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "this server has no trace store"})
+		writeError(w, fmt.Errorf("%w: this server was started without a trace store", ErrTraceStoreDisabled))
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxTraceBytes)
@@ -172,15 +402,17 @@ func (s *Server) handleUploadTrace(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				map[string]string{"error": "trace exceeds " + strconv.FormatInt(s.opts.MaxTraceBytes, 10) + " bytes"})
+			writeError(w, withDetails(
+				fmt.Errorf("%w: trace exceeds %d bytes", ErrPayloadTooLarge, s.opts.MaxTraceBytes),
+				map[string]string{"limit_bytes": strconv.FormatInt(s.opts.MaxTraceBytes, 10)}))
 			return
 		}
 		// A trace that fails decoding is a client-side problem: bad
 		// magic, version, CRC or truncation all map to 400.
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
 		return
 	}
+	infoFrom(r.Context()).fp = digest
 	writeJSON(w, http.StatusCreated, map[string]any{"digest": digest, "records": records})
 }
 

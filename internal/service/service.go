@@ -20,7 +20,9 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,15 +43,30 @@ const (
 	StateFailed  = "failed"
 )
 
-// Errors the HTTP layer maps to status codes.
+// Errors the HTTP layer maps to status codes and envelope codes (see
+// errors.go for the mapping table).
 var (
 	// ErrQueueFull means the bounded queue cannot accept the submission
-	// (HTTP 503; grids are admitted all-or-nothing).
+	// (HTTP 503 queue_full; grids are admitted all-or-nothing).
 	ErrQueueFull = errors.New("service: job queue full")
-	// ErrNoSuchJob means the job ID is unknown (HTTP 404).
+	// ErrNoSuchJob means the job ID is unknown — or belongs to another
+	// tenant, which is indistinguishable by design (HTTP 404 not_found).
 	ErrNoSuchJob = errors.New("service: no such job")
-	// ErrBadRequest wraps validation failures (HTTP 400).
+	// ErrBadRequest wraps validation failures (HTTP 400 invalid_spec).
 	ErrBadRequest = errors.New("service: invalid request")
+	// ErrQuotaExceeded means the submission fits the global queue but
+	// not the tenant's quota (HTTP 429 quota_exceeded with Retry-After).
+	ErrQuotaExceeded = errors.New("service: tenant quota exceeded")
+	// ErrUnauthorized means a missing or unknown API key on a
+	// multi-tenant server (HTTP 401 unauthorized).
+	ErrUnauthorized = errors.New("service: unauthorized")
+	// ErrTraceStoreDisabled means a trace upload hit a server started
+	// without a trace store (HTTP 501 trace_store_disabled — a
+	// deployment choice, not saturation, so deliberately NOT 503).
+	ErrTraceStoreDisabled = errors.New("service: trace store disabled")
+	// ErrPayloadTooLarge means a request body exceeded its bound
+	// (HTTP 413 payload_too_large).
+	ErrPayloadTooLarge = errors.New("service: payload too large")
 )
 
 // JobRequest is the JSON body of POST /v1/jobs: a machine description
@@ -92,6 +109,7 @@ type GridRequest struct {
 type JobStatus struct {
 	ID          string `json:"id"`
 	State       string `json:"state"`
+	Tenant      string `json:"tenant,omitempty"`
 	Kernel      string `json:"kernel,omitempty"`
 	Scale       int    `json:"scale,omitempty"`
 	Seed        uint64 `json:"seed,omitempty"`
@@ -118,27 +136,64 @@ type Event struct {
 	Error        string  `json:"error,omitempty"`
 }
 
-// ServerStats is the GET /v1/statsz payload.
+// QueueStats is the queue/worker section of statsz.
+type QueueStats struct {
+	Workers    int     `json:"workers"`
+	Capacity   int     `json:"capacity"`
+	Depth      int     `json:"depth"`
+	Running    int     `json:"running"`
+	Submitted  int64   `json:"submitted"`
+	Done       int64   `json:"done"`
+	Failed     int64   `json:"failed"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+}
+
+// CacheStats is the persistent-result-cache section of statsz. Hits
+// plus the engine's simulations is the unique work the server
+// resolved; memo hits within the process appear in neither.
+type CacheStats struct {
+	Hits      int64   `json:"hits"`
+	PutErrors int64   `json:"put_errors"`
+	HitRatio  float64 `json:"hit_ratio"`
+}
+
+// EngineStats is the simulator section of statsz.
+type EngineStats struct {
+	SimulationsExecuted int64   `json:"simulations_executed"`
+	SimInstructions     uint64  `json:"sim_instructions"`
+	SimInstrsPerSec     float64 `json:"sim_instrs_per_sec"`
+}
+
+// ServerStats is the GET /v1/statsz payload, schema version 1: nested
+// queue/cache/engine sections plus one entry per tenant.
+//
+// Deprecated flat fields: the pre-versioning top-level keys (workers,
+// queue_depth, jobs_done, cache_hit_ratio, ...) are still emitted as
+// mirrors of the nested sections for one release; see ARCHITECTURE.md
+// "Service layer" for the removal schedule. New callers must read the
+// nested sections.
 type ServerStats struct {
+	SchemaVersion int     `json:"schema_version"`
 	UptimeSec     float64 `json:"uptime_sec"`
-	Workers       int     `json:"workers"`
-	QueueCapacity int     `json:"queue_capacity"`
-	QueueDepth    int     `json:"queue_depth"`
-	Running       int     `json:"running"`
 
-	JobsSubmitted int64 `json:"jobs_submitted"`
-	JobsDone      int64 `json:"jobs_done"`
-	JobsFailed    int64 `json:"jobs_failed"`
+	Queue   QueueStats    `json:"queue"`
+	Cache   CacheStats    `json:"cache"`
+	Engine  EngineStats   `json:"engine"`
+	Tenants []TenantStats `json:"tenants"`
 
-	// SimulationsExecuted counts actual simulator runs; CacheHits
-	// counts persistent-cache hits. Their sum is the unique work the
-	// server resolved; memo hits within the process appear in neither.
+	// Deprecated: flat mirrors of the sections above, kept one release.
+	Workers             int     `json:"workers"`
+	QueueCapacity       int     `json:"queue_capacity"`
+	QueueDepth          int     `json:"queue_depth"`
+	Running             int     `json:"running"`
+	JobsSubmitted       int64   `json:"jobs_submitted"`
+	JobsDone            int64   `json:"jobs_done"`
+	JobsFailed          int64   `json:"jobs_failed"`
 	SimulationsExecuted int64   `json:"simulations_executed"`
 	CacheHits           int64   `json:"cache_hits"`
 	CachePutErrors      int64   `json:"cache_put_errors"`
 	CacheHitRatio       float64 `json:"cache_hit_ratio"`
-
-	JobsPerSec float64 `json:"jobs_per_sec"`
+	JobsPerSec          float64 `json:"jobs_per_sec"`
 }
 
 // Options configure a Server.
@@ -164,6 +219,15 @@ type Options struct {
 	// /v1/jobs/{id}). Queued and running jobs are never evicted, so a
 	// long-lived server cannot leak memory per submission.
 	MaxJobRecords int
+	// Tenants, when non-empty, turns on multi-tenant mode: every HTTP
+	// request (except /v1/healthz and /metrics) must present a known
+	// API key, jobs are attributed and quota-checked per tenant, and
+	// one tenant cannot read another's jobs. Empty = open mode: no
+	// auth, every caller is the "anonymous" tenant with no quotas.
+	Tenants []Tenant
+	// Logger receives structured request and job-lifecycle logs; nil
+	// discards them.
+	Logger *slog.Logger
 	// Run overrides the simulator (tests inject stubs); nil = the real
 	// timing simulator with progress events.
 	Run func(runner.Job) (stats.Results, error)
@@ -177,6 +241,16 @@ type Server struct {
 	cache *runner.DiskCache // nil when disabled
 	store *trace.Store      // nil when disabled
 	start time.Time
+
+	// Tenant registry: immutable after New. multiTenant switches the
+	// HTTP layer into key-required mode; anonymous is the principal of
+	// open mode and of direct Go API calls.
+	tenants     map[string]*tenantState
+	anonymous   *tenantState
+	multiTenant bool
+
+	logger  *slog.Logger
+	metrics *metrics
 
 	mu      sync.Mutex
 	jobs    map[string]*job
@@ -226,6 +300,10 @@ func New(opts Options) (*Server, error) {
 		// never be tighter than the queue bound.
 		opts.MaxJobRecords = opts.QueueDepth
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		opts:    opts,
 		start:   time.Now(),
@@ -233,7 +311,14 @@ func New(opts Options) (*Server, error) {
 		avail:   make(chan struct{}, opts.QueueDepth),
 		quit:    make(chan struct{}),
 		fanouts: make(map[string]*fanout),
+		logger:  logger,
+		metrics: newMetrics(),
 	}
+	if err := validateTenants(opts.Tenants); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	s.tenants, s.anonymous = newTenantStates(opts.Tenants)
+	s.multiTenant = len(opts.Tenants) > 0
 	var cache runner.ResultCache
 	if opts.CacheDir != "" {
 		dc, err := runner.NewDiskCache(opts.CacheDir)
@@ -355,24 +440,41 @@ func (s *Server) buildJob(req JobRequest) (runner.Job, error) {
 	}
 }
 
-// Submit validates and enqueues one job, returning its status snapshot.
+// Submit validates and enqueues one job as the anonymous tenant,
+// returning its status snapshot. HTTP submissions go through submitAs
+// with the authenticated tenant instead.
 func (s *Server) Submit(req JobRequest) (JobStatus, error) {
+	return s.submitAs(s.anonymous, req)
+}
+
+// submitAs validates and enqueues one job for a tenant, enforcing its
+// quotas at admission.
+func (s *Server) submitAs(t *tenantState, req JobRequest) (JobStatus, error) {
 	rjob, err := s.buildJob(req)
 	if err != nil {
 		return JobStatus{}, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.queue) >= s.opts.QueueDepth {
-		return JobStatus{}, ErrQueueFull
+	if err := s.admitLocked(t, 1); err != nil {
+		return JobStatus{}, err
 	}
-	j := s.enqueueLocked(req, rjob)
+	j := s.enqueueLocked(t, req, rjob)
+	s.logger.Info("job submitted",
+		"tenant", t.cfg.Name, "job", j.id, "fingerprint", j.fp, "priority", j.priority)
 	return j.status(), nil
 }
 
 // SubmitGrid expands the grid row-major and enqueues every job
-// all-or-nothing, returning the job IDs in grid order.
+// all-or-nothing as the anonymous tenant, returning the job IDs in
+// grid order.
 func (s *Server) SubmitGrid(req GridRequest) ([]string, error) {
+	return s.submitGridAs(s.anonymous, req)
+}
+
+// submitGridAs is SubmitGrid for a tenant: the whole grid must fit the
+// global queue AND the tenant's quotas, or nothing is admitted.
+func (s *Server) submitGridAs(t *tenantState, req GridRequest) ([]string, error) {
 	if len(req.Machines) == 0 || len(req.Kernels) == 0 {
 		return nil, fmt.Errorf("%w: a grid needs at least one machine and one kernel", ErrBadRequest)
 	}
@@ -397,26 +499,61 @@ func (s *Server) SubmitGrid(req GridRequest) ([]string, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.queue)+len(reqs) > s.opts.QueueDepth {
-		return nil, fmt.Errorf("%w: grid of %d jobs exceeds free queue capacity %d",
-			ErrQueueFull, len(reqs), s.opts.QueueDepth-len(s.queue))
+	if err := s.admitLocked(t, len(reqs)); err != nil {
+		return nil, err
 	}
 	ids := make([]string, len(reqs))
 	for i := range reqs {
-		ids[i] = s.enqueueLocked(reqs[i], rjobs[i]).id
+		ids[i] = s.enqueueLocked(t, reqs[i], rjobs[i]).id
 	}
+	s.logger.Info("grid submitted", "tenant", t.cfg.Name, "jobs", len(ids))
 	return ids, nil
 }
 
-// enqueueLocked registers and queues a validated job; s.mu must be
-// held. The capacity check happened at the caller, so the avail send
-// cannot block.
-func (s *Server) enqueueLocked(req JobRequest, rjob runner.Job) *job {
+// admitLocked is the two-level admission check — global queue bound
+// first (503 queue_full), then the tenant's own quotas (429
+// quota_exceeded); s.mu must be held. Rejections count as load
+// shedding for the tenant and the server.
+func (s *Server) admitLocked(t *tenantState, n int) error {
+	if len(s.queue)+n > s.opts.QueueDepth {
+		t.shed.Add(1)
+		s.metrics.loadShed("queue_full")
+		s.logger.Warn("load shed: queue full",
+			"tenant", t.cfg.Name, "jobs", n, "queue_depth", len(s.queue), "queue_capacity", s.opts.QueueDepth)
+		if n > 1 {
+			return fmt.Errorf("%w: grid of %d jobs exceeds free queue capacity %d",
+				ErrQueueFull, n, s.opts.QueueDepth-len(s.queue))
+		}
+		return ErrQueueFull
+	}
+	if quota, limit, ok := t.admitLocked(n); !ok {
+		t.shed.Add(1)
+		s.metrics.loadShed("quota_exceeded")
+		s.logger.Warn("load shed: tenant quota exceeded",
+			"tenant", t.cfg.Name, "jobs", n, "quota", quota, "limit", limit)
+		return withDetails(
+			fmt.Errorf("%w: tenant %q exceeded %s (%d)", ErrQuotaExceeded, t.cfg.Name, quota, limit),
+			map[string]string{
+				"tenant": t.cfg.Name,
+				"quota":  quota,
+				"limit":  strconv.Itoa(limit),
+			})
+	}
+	return nil
+}
+
+// enqueueLocked registers and queues a validated job for a tenant;
+// s.mu must be held. The admission check happened at the caller, so
+// the avail send cannot block. The requested priority is clamped to
+// the tenant's ceiling here, so the heap never sees a priority the
+// tenant was not entitled to.
+func (s *Server) enqueueLocked(t *tenantState, req JobRequest, rjob runner.Job) *job {
 	s.nextSeq++
 	j := &job{
 		id:        fmt.Sprintf("j-%08d", s.nextSeq),
 		seq:       s.nextSeq,
-		priority:  req.Priority,
+		priority:  t.clampPriority(req.Priority),
+		tenant:    t,
 		req:       req,
 		rjob:      rjob,
 		fp:        rjob.Fingerprint(),
@@ -430,6 +567,8 @@ func (s *Server) enqueueLocked(req JobRequest, rjob runner.Job) *job {
 	s.evictLocked()
 	heap.Push(&s.queue, j)
 	s.submitted.Add(1)
+	t.submitted.Add(1)
+	t.queued++
 	s.avail <- struct{}{}
 	return j
 }
@@ -464,7 +603,8 @@ func (s *Server) evictLocked() {
 	s.order = kept
 }
 
-// Status returns the status snapshot of a job.
+// Status returns the status snapshot of a job, regardless of tenant
+// (the Go-API admin view; the HTTP layer goes through lookupFor).
 func (s *Server) Status(id string) (JobStatus, error) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
@@ -475,40 +615,73 @@ func (s *Server) Status(id string) (JobStatus, error) {
 	return j.status(), nil
 }
 
-// lookup returns the internal job record.
-func (s *Server) lookup(id string) (*job, bool) {
+// lookupFor returns the job record if it exists AND belongs to the
+// tenant. Another tenant's job reads as not-found, never as forbidden:
+// job IDs are sequential, and a 403 would confirm to a prober that the
+// ID exists.
+func (s *Server) lookupFor(t *tenantState, id string) (*job, bool) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
-	return j, ok
+	if !ok || (s.multiTenant && j.tenant != t) {
+		return nil, false
+	}
+	return j, true
 }
 
-// Stats snapshots the server counters.
+// Stats snapshots the server counters into the versioned statsz
+// schema: nested queue/cache/engine/tenants sections, with the legacy
+// flat keys mirrored for one release.
 func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	depth := len(s.queue)
 	running := s.running
+	tenants := snapshotTenants(s.tenants, s.anonymous, s.multiTenant)
 	s.mu.Unlock()
 	uptime := time.Since(s.start).Seconds()
 	st := ServerStats{
-		UptimeSec:           uptime,
-		Workers:             s.eng.Workers(),
-		QueueCapacity:       s.opts.QueueDepth,
-		QueueDepth:          depth,
-		Running:             running,
-		JobsSubmitted:       s.submitted.Load(),
-		JobsDone:            s.done.Load(),
-		JobsFailed:          s.failed.Load(),
-		SimulationsExecuted: s.eng.Executed(),
-		CacheHits:           s.eng.CacheHits(),
-		CachePutErrors:      s.eng.CachePutErrors(),
+		SchemaVersion: SchemaVersion,
+		UptimeSec:     uptime,
+		Queue: QueueStats{
+			Workers:   s.eng.Workers(),
+			Capacity:  s.opts.QueueDepth,
+			Depth:     depth,
+			Running:   running,
+			Submitted: s.submitted.Load(),
+			Done:      s.done.Load(),
+			Failed:    s.failed.Load(),
+		},
+		Cache: CacheStats{
+			Hits:      s.eng.CacheHits(),
+			PutErrors: s.eng.CachePutErrors(),
+		},
+		Engine: EngineStats{
+			SimulationsExecuted: s.eng.Executed(),
+			SimInstructions:     s.eng.SimInstructions(),
+		},
+		Tenants: tenants,
 	}
-	if u := st.SimulationsExecuted + st.CacheHits; u > 0 {
-		st.CacheHitRatio = float64(st.CacheHits) / float64(u)
+	if u := st.Engine.SimulationsExecuted + st.Cache.Hits; u > 0 {
+		st.Cache.HitRatio = float64(st.Cache.Hits) / float64(u)
 	}
 	if uptime > 0 {
-		st.JobsPerSec = float64(st.JobsDone) / uptime
+		st.Queue.JobsPerSec = float64(st.Queue.Done) / uptime
+		st.Engine.SimInstrsPerSec = float64(st.Engine.SimInstructions) / uptime
 	}
+
+	// Deprecated flat mirrors (remove with schema_version 2).
+	st.Workers = st.Queue.Workers
+	st.QueueCapacity = st.Queue.Capacity
+	st.QueueDepth = st.Queue.Depth
+	st.Running = st.Queue.Running
+	st.JobsSubmitted = st.Queue.Submitted
+	st.JobsDone = st.Queue.Done
+	st.JobsFailed = st.Queue.Failed
+	st.SimulationsExecuted = st.Engine.SimulationsExecuted
+	st.CacheHits = st.Cache.Hits
+	st.CachePutErrors = st.Cache.PutErrors
+	st.CacheHitRatio = st.Cache.HitRatio
+	st.JobsPerSec = st.Queue.JobsPerSec
 	return st
 }
 
@@ -532,26 +705,41 @@ func (s *Server) worker() {
 			s.mu.Lock()
 			j := heap.Pop(&s.queue).(*job)
 			s.running++
+			j.tenant.queued--
+			j.tenant.running++
 			s.mu.Unlock()
 			s.execute(j)
 			s.mu.Lock()
 			s.running--
+			j.tenant.running--
 			s.mu.Unlock()
 		}
 	}
 }
 
 // execute runs one job through the engine, fanning progress out to
-// every job that shares the fingerprint while it runs.
+// every job that shares the fingerprint while it runs, and attributes
+// the outcome — including how it was resolved — to the job's tenant.
 func (s *Server) execute(j *job) {
 	j.setRunning()
 	s.fanoutAttach(j)
 	r := s.eng.Run([]runner.Job{j.rjob})[0]
 	s.fanoutDetach(j)
+	t := j.tenant
 	if r.Err != nil {
 		s.failed.Add(1)
+		t.failed.Add(1)
+		s.logger.Warn("job failed",
+			"tenant", t.cfg.Name, "job", j.id, "fingerprint", j.fp, "via", r.Via.String(), "error", r.Err.Error())
 	} else {
 		s.done.Add(1)
+		t.done.Add(1)
+		if r.Via == runner.ViaCache {
+			t.cacheHits.Add(1)
+		}
+		s.logger.Info("job done",
+			"tenant", t.cfg.Name, "job", j.id, "fingerprint", j.fp, "via", r.Via.String(),
+			"cycles", r.Res.Cycles, "instructions", r.Res.Instructions)
 	}
 	j.finish(r.Res, r.Err)
 }
@@ -597,6 +785,7 @@ type job struct {
 	id       string
 	seq      int64
 	priority int
+	tenant   *tenantState
 	req      JobRequest
 	rjob     runner.Job
 	fp       string
@@ -618,9 +807,14 @@ type job struct {
 func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	tenant := ""
+	if j.tenant != nil {
+		tenant = j.tenant.cfg.Name
+	}
 	st := JobStatus{
 		ID:          j.id,
 		State:       j.state,
+		Tenant:      tenant,
 		Kernel:      j.req.Kernel,
 		Scale:       j.rjob.EffectiveScale(),
 		Seed:        j.req.Seed,
