@@ -15,6 +15,18 @@
 // tenant's admission quotas are enforced at submit time. Without it the
 // server runs open, as before.
 //
+// Fleet mode: -coordinator turns the process into a fleet coordinator
+// instead of a worker — it runs no simulations itself, but admits jobs
+// once, shards them deterministically by fingerprint hash across the
+// -replicas list, fails shards over around dead replicas, and serves
+// the same API surface:
+//
+//	clusterd -coordinator -replicas http://10.0.0.1:8090,http://10.0.0.2:8090
+//
+// Point the replicas at one shared -data directory (or any shared
+// cache backend) and a re-dispatched shard resolves from the result
+// cache instead of re-simulating.
+//
 // Endpoints (see ARCHITECTURE.md "Service layer" for the full table):
 //
 //	POST /v1/jobs    POST /v1/grids    GET /v1/jobs/{id}
@@ -35,13 +47,16 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"clustervp/internal/service"
+	"clustervp/internal/service/fleet"
 )
 
 func main() {
@@ -55,6 +70,10 @@ func main() {
 	tenants := flag.String("tenants", "", "tenants file enabling API-key auth and per-tenant quotas (see ARCHITECTURE.md)")
 	logFormat := flag.String("log-format", "text", "request log format: text or json")
 	logLevel := flag.String("log-level", "info", "request log level: debug, info, warn or error")
+	coordinator := flag.Bool("coordinator", false, "run as a fleet coordinator instead of a worker (requires -replicas)")
+	replicasFlag := flag.String("replicas", "", "comma-separated replica base URLs the coordinator shards across")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "coordinator health-probe period")
+	apiKey := flag.String("api-key", "", "API key the coordinator presents to multi-tenant replicas")
 	flag.Parse()
 
 	logger, err := buildLogger(*logFormat, *logLevel)
@@ -62,10 +81,51 @@ func main() {
 		fmt.Fprintln(os.Stderr, "clusterd:", err)
 		os.Exit(2)
 	}
+	if *coordinator {
+		replicas, err := parseReplicas(*replicasFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clusterd:", err)
+			os.Exit(2)
+		}
+		if err := runCoordinator(*addr, replicas, *queue, *probeInterval, *apiKey, logger); err != nil {
+			fmt.Fprintln(os.Stderr, "clusterd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *replicasFlag != "" {
+		fmt.Fprintln(os.Stderr, "clusterd: -replicas requires -coordinator")
+		os.Exit(2)
+	}
 	if err := run(*addr, *data, *cacheDir, *traceDir, *tenants, workersQueue{*workers, *queue}, *progress, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "clusterd:", err)
 		os.Exit(1)
 	}
+}
+
+// parseReplicas splits and sanity-checks the -replicas list. Order is
+// preserved: the list IS the shard space, so every coordinator must be
+// given the same order.
+func parseReplicas(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, errors.New("-coordinator requires -replicas (comma-separated base URLs)")
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		u, err := url.Parse(part)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("-replicas: %q is not a base URL (want e.g. http://host:port)", part)
+		}
+		out = append(out, strings.TrimRight(part, "/"))
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-replicas: no usable URLs")
+	}
+	return out, nil
 }
 
 // workersQueue bundles the two pool knobs so run keeps a readable arity.
@@ -104,6 +164,24 @@ func resolveDir(override, data, sub string) string {
 	}
 }
 
+// runCoordinator boots the fleet coordinator variant: same listening
+// line, same graceful shutdown, no local simulation engine.
+func runCoordinator(addr string, replicas []string, queue int, probe time.Duration, apiKey string, logger *slog.Logger) error {
+	co, err := fleet.New(fleet.Options{
+		Replicas:      replicas,
+		QueueDepth:    queue,
+		ProbeInterval: probe,
+		APIKey:        apiKey,
+		Logger:        logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer co.Close()
+	logger.Info("coordinator mode", "replicas", replicas)
+	return serve(addr, co.Handler())
+}
+
 func run(addr, data, cacheDir, traceDir, tenantsPath string, wq workersQueue, progress int64, logger *slog.Logger) error {
 	var tenants []service.Tenant
 	if tenantsPath != "" {
@@ -133,7 +211,12 @@ func run(addr, data, cacheDir, traceDir, tenantsPath string, wq workersQueue, pr
 		return err
 	}
 	defer srv.Close()
+	return serve(addr, srv.Handler())
+}
 
+// serve runs the HTTP server until SIGINT/SIGTERM, printing the
+// "listening on" line scripts scrape.
+func serve(addr string, handler http.Handler) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -146,7 +229,7 @@ func run(addr, data, cacheDir, traceDir, tenantsPath string, wq workersQueue, pr
 	// also ends long-lived /events streams — otherwise one watcher of
 	// an unfinished job would pin Shutdown to its full timeout.
 	hs := &http.Server{
-		Handler:     srv.Handler(),
+		Handler:     handler,
 		BaseContext: func(net.Listener) context.Context { return ctx },
 	}
 

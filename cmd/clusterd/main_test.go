@@ -2,8 +2,28 @@ package main
 
 import (
 	"log/slog"
+	"reflect"
 	"testing"
 )
+
+// TestParseReplicas pins the -replicas contract: comma-separated base
+// URLs, order preserved (the list is the shard space), trailing
+// slashes trimmed, junk rejected with a usage error.
+func TestParseReplicas(t *testing.T) {
+	got, err := parseReplicas(" http://10.0.0.1:8090 , http://10.0.0.2:8090/ ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://10.0.0.1:8090", "http://10.0.0.2:8090"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseReplicas = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"", "  ", ",,", "not a url", "host-without-scheme:8090"} {
+		if out, err := parseReplicas(bad); err == nil {
+			t.Errorf("parseReplicas(%q) accepted: %v", bad, out)
+		}
+	}
+}
 
 // TestResolveDir pins the data-directory convention: empty means the
 // <data>-relative default, "off" disables, anything else is literal.

@@ -1,0 +1,85 @@
+package runner
+
+// BlobStore abstracts the byte-storage backend under the persistent
+// result cache: a flat, keyed blob namespace. The local implementation
+// is a directory (DirStore); an object store (S3, GCS, ...) slots in
+// behind the same interface, which is what lets several clusterd
+// replicas share one cache backend in fleet mode without the cache
+// framing knowing or caring where the bytes live.
+//
+// Keys are filesystem-safe names chosen by the caller (the result
+// cache uses "<sha256-of-fingerprint>.cvr"). Implementations must be
+// safe for concurrent use both across goroutines and across processes
+// sharing the backend: Put publishes atomically — a concurrent Get on
+// any replica observes either the previous complete blob or the new
+// complete blob, never a torn write — and overwrites are
+// last-writer-wins.
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// BlobStore is a flat keyed byte store with atomic publication.
+type BlobStore interface {
+	// Get returns the blob's full contents, or an error wrapping
+	// os.ErrNotExist when the key has never been published.
+	Get(key string) ([]byte, error)
+	// Put atomically publishes data under key, replacing any previous
+	// blob.
+	Put(key string, data []byte) error
+}
+
+// DirStore is the local-directory BlobStore: one file per key,
+// published via temp file + rename so readers — other goroutines or
+// other replicas sharing the directory — only ever observe complete
+// blobs.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore opens (creating if needed) a blob store rooted at dir.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// Dir returns the store root.
+func (s *DirStore) Dir() string { return s.dir }
+
+// Path returns the file a key is stored at.
+func (s *DirStore) Path(key string) string { return filepath.Join(s.dir, key) }
+
+// Get implements BlobStore (os.ReadFile reports missing keys as
+// os.ErrNotExist-wrapped errors, which is exactly the contract).
+func (s *DirStore) Get(key string) ([]byte, error) {
+	return os.ReadFile(s.Path(key))
+}
+
+// Put implements BlobStore: write to a hidden temp file in the same
+// directory, then rename into place. Temp names start with "." so a
+// crashed writer's leftovers can never collide with a real key.
+func (s *DirStore) Put(key string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.Path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+var _ BlobStore = (*DirStore)(nil)

@@ -2,16 +2,17 @@ package runner
 
 // Persistent result caching for the grid engine. The in-memory memo in
 // Engine deduplicates work within one process; a ResultCache extends
-// that across process restarts and across replicas sharing a
-// filesystem: any two jobs with equal Fingerprint() produce identical
+// that across process restarts and across replicas sharing a cache
+// backend: any two jobs with equal Fingerprint() produce identical
 // Results, so a cached record can be served without re-simulating.
 //
-// DiskCache is the reference implementation: one file per fingerprint
-// under a directory, named by the SHA-256 of the fingerprint, framed
-// and CRC-checked so a corrupt or truncated entry is detected and
-// treated as a miss (and rewritten on the next Put) rather than ever
-// being returned — the same typed-error discipline internal/trace
-// applies to .cvt files.
+// The cache is layered: BlobCache owns the entry framing (magic,
+// version, CRC — so a corrupt or truncated entry is detected and
+// treated as a miss, never returned, the same typed-error discipline
+// internal/trace applies to .cvt files) over any BlobStore backend.
+// DiskCache is BlobCache over a local DirStore — the single-box
+// default, and the shared-directory backend fleet replicas use today;
+// an object-store BlobStore slots in without touching the framing.
 
 import (
 	"crypto/sha256"
@@ -20,8 +21,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
-	"path/filepath"
 
 	"clustervp/internal/stats"
 )
@@ -59,59 +58,42 @@ const (
 	maxCachePayload = 1 << 24
 )
 
-// cacheEntry is the JSON payload of one on-disk record. The full
-// fingerprint rides inside the entry because the file name only carries
+// cacheEntry is the JSON payload of one stored record. The full
+// fingerprint rides inside the entry because the blob key only carries
 // its hash: on read it is compared against the requested key, so a
-// hash collision (or a file dropped into the directory by mistake)
-// reads as corruption, never as a false hit.
+// hash collision (or a foreign blob dropped into the backend) reads as
+// corruption, never as a false hit.
 type cacheEntry struct {
 	Fingerprint string        `json:"fingerprint"`
 	Results     stats.Results `json:"results"`
 }
 
-// DiskCache is a content-addressed ResultCache over a directory.
-// Concurrent writers are safe: entries are written to a temp file and
-// renamed into place, so readers only ever observe complete frames.
-type DiskCache struct {
-	dir string
+// cacheKey is the blob key an entry for the fingerprint lives at: the
+// SHA-256 of the fingerprint keeps keys backend-safe and uniform
+// regardless of what characters the fingerprint contains.
+func cacheKey(fingerprint string) string {
+	sum := sha256.Sum256([]byte(fingerprint))
+	return fmt.Sprintf("%x.cvr", sum)
 }
 
-// NewDiskCache opens (creating if needed) a result cache rooted at dir.
-func NewDiskCache(dir string) (*DiskCache, error) {
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+// encodeCacheEntry frames one entry for storage.
+func encodeCacheEntry(fingerprint string, res stats.Results) ([]byte, error) {
+	payload, err := json.Marshal(cacheEntry{Fingerprint: fingerprint, Results: res})
+	if err != nil {
 		return nil, err
 	}
-	return &DiskCache{dir: dir}, nil
+	buf := make([]byte, 0, len(cacheMagic)+1+8+len(payload)+4)
+	buf = append(buf, cacheMagic...)
+	buf = append(buf, cacheVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return buf, nil
 }
 
-// Dir returns the cache root.
-func (c *DiskCache) Dir() string { return c.dir }
-
-// EntryPath is the file an entry for the fingerprint lives at: the
-// SHA-256 of the fingerprint keeps names filesystem-safe and uniform
-// regardless of what characters the fingerprint contains.
-func (c *DiskCache) EntryPath(fingerprint string) string {
-	sum := sha256.Sum256([]byte(fingerprint))
-	return filepath.Join(c.dir, fmt.Sprintf("%x.cvr", sum))
-}
-
-// Get implements ResultCache: it returns the cached results for the
-// fingerprint, or a miss for missing, truncated or corrupt entries.
-func (c *DiskCache) Get(fingerprint string) (stats.Results, bool) {
-	res, err := c.Load(fingerprint)
-	if err != nil {
-		return stats.Results{}, false
-	}
-	return res, true
-}
-
-// Load is Get with the failure cause: os.ErrNotExist for a missing
-// entry, ErrCacheTruncated/ErrCacheCorrupt for a damaged one.
-func (c *DiskCache) Load(fingerprint string) (stats.Results, error) {
-	data, err := os.ReadFile(c.EntryPath(fingerprint))
-	if err != nil {
-		return stats.Results{}, err
-	}
+// decodeCacheEntry validates a stored frame against the requested
+// fingerprint and returns its results.
+func decodeCacheEntry(fingerprint string, data []byte) (stats.Results, error) {
 	head := len(cacheMagic) + 1 + 8
 	if len(data) < head {
 		return stats.Results{}, fmt.Errorf("%w: %d bytes, shorter than the %d-byte frame header",
@@ -145,39 +127,73 @@ func (c *DiskCache) Load(fingerprint string) (stats.Results, error) {
 	return ent.Results, nil
 }
 
-// Put implements ResultCache: it (over)writes the entry atomically, so
-// a crash mid-write leaves either the old entry or none — never a torn
-// frame at the published path.
-func (c *DiskCache) Put(fingerprint string, res stats.Results) error {
-	payload, err := json.Marshal(cacheEntry{Fingerprint: fingerprint, Results: res})
-	if err != nil {
-		return err
-	}
-	buf := make([]byte, 0, len(cacheMagic)+1+8+len(payload)+4)
-	buf = append(buf, cacheMagic...)
-	buf = append(buf, cacheVersion)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
-	buf = append(buf, payload...)
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
-
-	tmp, err := os.CreateTemp(c.dir, ".cvr-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), c.EntryPath(fingerprint)); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+// BlobCache is a content-addressed ResultCache over any BlobStore. It
+// is as concurrency-safe as its backend: the framing itself holds no
+// state.
+type BlobCache struct {
+	store BlobStore
 }
 
-var _ ResultCache = (*DiskCache)(nil)
+// NewBlobCache wraps a blob store in the result-cache framing.
+func NewBlobCache(store BlobStore) *BlobCache { return &BlobCache{store: store} }
+
+// Get implements ResultCache: it returns the cached results for the
+// fingerprint, or a miss for missing, truncated or corrupt entries.
+func (c *BlobCache) Get(fingerprint string) (stats.Results, bool) {
+	res, err := c.Load(fingerprint)
+	if err != nil {
+		return stats.Results{}, false
+	}
+	return res, true
+}
+
+// Load is Get with the failure cause: os.ErrNotExist for a missing
+// entry, ErrCacheTruncated/ErrCacheCorrupt for a damaged one.
+func (c *BlobCache) Load(fingerprint string) (stats.Results, error) {
+	data, err := c.store.Get(cacheKey(fingerprint))
+	if err != nil {
+		return stats.Results{}, err
+	}
+	return decodeCacheEntry(fingerprint, data)
+}
+
+// Put implements ResultCache: it (over)writes the entry through the
+// backend's atomic publish, so a crash mid-write leaves either the old
+// entry or none — never a torn frame at the published key.
+func (c *BlobCache) Put(fingerprint string, res stats.Results) error {
+	buf, err := encodeCacheEntry(fingerprint, res)
+	if err != nil {
+		return err
+	}
+	return c.store.Put(cacheKey(fingerprint), buf)
+}
+
+// DiskCache is the BlobCache over a local directory (DirStore) — the
+// reference backend, shared across processes and replicas via the
+// filesystem.
+type DiskCache struct {
+	*BlobCache
+	dir *DirStore
+}
+
+// NewDiskCache opens (creating if needed) a result cache rooted at dir.
+func NewDiskCache(dir string) (*DiskCache, error) {
+	store, err := NewDirStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &DiskCache{BlobCache: NewBlobCache(store), dir: store}, nil
+}
+
+// Dir returns the cache root.
+func (c *DiskCache) Dir() string { return c.dir.Dir() }
+
+// EntryPath is the file an entry for the fingerprint lives at.
+func (c *DiskCache) EntryPath(fingerprint string) string {
+	return c.dir.Path(cacheKey(fingerprint))
+}
+
+var (
+	_ ResultCache = (*BlobCache)(nil)
+	_ ResultCache = (*DiskCache)(nil)
+)

@@ -35,6 +35,7 @@ type Client struct {
 	base   string
 	apiKey string
 	hc     *http.Client
+	retry  RetryPolicy
 }
 
 // Option configures a Client.
@@ -123,35 +124,42 @@ func (c *Client) newRequest(ctx context.Context, method, path string, body io.Re
 	return req, nil
 }
 
-// doJSON posts (or gets, when in is nil) and decodes a JSON reply.
+// doJSON posts (or gets, when in is nil) and decodes a JSON reply,
+// retrying retriable failures under the client's RetryPolicy (the body
+// is a rewindable buffer, so every attempt sends identical bytes).
 func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
+		var err error
+		if data, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	return c.withRetry(ctx, func() error {
+		var body io.Reader
+		if in != nil {
+			body = bytes.NewReader(data)
+		}
+		req, err := c.newRequest(ctx, method, path, body)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(data)
-	}
-	req, err := c.newRequest(ctx, method, path, body)
-	if err != nil {
-		return err
-	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return apiError(resp)
-	}
-	if out == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			return apiError(resp)
+		}
+		if out == nil {
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	})
 }
 
 // Health checks GET /v1/healthz.
@@ -205,8 +213,13 @@ func (c *Client) Wait(ctx context.Context, id string) (service.JobStatus, error)
 	return c.Status(ctx, id)
 }
 
-// waitEvents consumes the events stream until a terminal line.
-func (c *Client) waitEvents(ctx context.Context, id string) error {
+// StreamEvents opens the job's NDJSON event stream and hands each
+// event to fn in order. It returns nil once a terminal event (done or
+// failed) has been delivered; a stream that breaks earlier returns the
+// transport error, and a non-nil error from fn stops the stream and is
+// returned as-is. The fleet coordinator proxies replica progress
+// through this.
+func (c *Client) StreamEvents(ctx context.Context, id string, fn func(service.Event) error) error {
 	req, err := c.newRequest(ctx, http.MethodGet, "/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return err
@@ -226,6 +239,11 @@ func (c *Client) waitEvents(ctx context.Context, id string) error {
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			return fmt.Errorf("clusterd: bad event line: %w", err)
 		}
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return err
+			}
+		}
 		if ev.State == service.StateDone || ev.State == service.StateFailed {
 			return nil
 		}
@@ -234,6 +252,11 @@ func (c *Client) waitEvents(ctx context.Context, id string) error {
 		return err
 	}
 	return fmt.Errorf("clusterd: events stream for %s ended before a terminal state", id)
+}
+
+// waitEvents consumes the events stream until a terminal line.
+func (c *Client) waitEvents(ctx context.Context, id string) error {
+	return c.StreamEvents(ctx, id, nil)
 }
 
 // pollUntilDone is the degraded-mode wait.

@@ -71,7 +71,7 @@ func TestClientRunMatchesLocal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.JobsDone < 1 {
+	if stats.Queue.Done < 1 {
 		t.Errorf("statsz after a done job: %+v", stats)
 	}
 }

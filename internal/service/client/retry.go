@@ -1,0 +1,121 @@
+package client
+
+// Automatic retry of retriable failures. Retries are safe for every
+// JSON endpoint the client speaks: reads are idempotent by nature, and
+// re-submitting a job or grid is idempotent in effect because results
+// are content-addressed — a duplicate submission resolves from the
+// result cache rather than repeating work. (Trace upload is excluded:
+// its body is a one-shot stream.)
+//
+// Retriable means the request may never have been processed, or the
+// server said "try again": transport errors with the context still
+// live, and HTTP 502/503/504. A 503's Retry-After is honored as the
+// floor of the backoff step; everything else backs off exponentially
+// from BaseDelay up to MaxDelay. 4xx replies are never retried — they
+// are verdicts, not weather.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// RetryPolicy bounds the client's automatic retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request, the first
+	// included (<=1 disables retry).
+	MaxAttempts int
+	// BaseDelay is the first backoff step (default 50ms), doubling per
+	// retry up to MaxDelay (default 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Sleep, when non-nil, replaces the real wait — tests inject a
+	// recorder to assert the backoff schedule without wall-clock time.
+	// It must return early with the context's error on cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// WithRetry enables automatic retry of retriable failures on every
+// JSON endpoint (trace upload excluded).
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p }
+}
+
+func (p RetryPolicy) baseDelay() time.Duration {
+	if p.BaseDelay > 0 {
+		return p.BaseDelay
+	}
+	return 50 * time.Millisecond
+}
+
+func (p RetryPolicy) maxDelay() time.Duration {
+	if p.MaxDelay > 0 {
+		return p.MaxDelay
+	}
+	return 2 * time.Second
+}
+
+// sleep waits d or until the context dies.
+func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retriable classifies an error from one attempt. The returned delay
+// is the server's Retry-After hint (0 = use backoff).
+func retriable(err error) (hint time.Duration, ok bool) {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.StatusCode {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return time.Duration(apiErr.RetryAfterSec) * time.Second, true
+		}
+		return 0, false
+	}
+	// Anything else from http.Client.Do is a transport-level failure:
+	// the server may never have seen the request. Context death is the
+	// caller giving up, not the network.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return 0, false
+	}
+	return 0, true
+}
+
+// withRetry runs fn under the policy: attempt, classify, back off,
+// repeat. The last error wins when attempts run out.
+func (c *Client) withRetry(ctx context.Context, fn func() error) error {
+	delay := c.retry.baseDelay()
+	for attempt := 1; ; attempt++ {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		if attempt >= c.retry.MaxAttempts || ctx.Err() != nil {
+			return err
+		}
+		hint, ok := retriable(err)
+		if !ok {
+			return err
+		}
+		step := delay
+		if hint > step {
+			step = hint
+		}
+		if err := c.retry.sleep(ctx, step); err != nil {
+			return err
+		}
+		if delay *= 2; delay > c.retry.maxDelay() {
+			delay = c.retry.maxDelay()
+		}
+	}
+}

@@ -21,8 +21,9 @@ import (
 )
 
 // SchemaVersion is the wire-schema version stamped on every error
-// envelope and statsz payload.
-const SchemaVersion = 1
+// envelope and statsz payload. Version 2 dropped the deprecated flat
+// statsz keys that version 1 mirrored alongside the nested sections.
+const SchemaVersion = 2
 
 // Stable machine-readable error codes.
 const (
@@ -89,6 +90,12 @@ func httpStatus(err error) (status int, code string, retryAfterSec int) {
 		return http.StatusInternalServerError, CodeInternal, 0
 	}
 }
+
+// Envelope renders a service error as its HTTP status and versioned
+// wire envelope. Exported for sibling packages speaking the same error
+// contract (the fleet coordinator), so a fleet rejection is
+// byte-compatible with a single-box one.
+func Envelope(err error) (int, ErrorEnvelope) { return envelope(err) }
 
 // envelope renders a service error as its wire representation.
 func envelope(err error) (int, ErrorEnvelope) {

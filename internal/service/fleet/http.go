@@ -1,0 +1,282 @@
+package fleet
+
+// The coordinator's HTTP surface — deliberately the single box's
+// surface, same paths, same wire types, same versioned error
+// envelopes, so clustersim -remote and service/client point at a
+// coordinator unchanged:
+//
+//	POST /v1/jobs             admit one job                -> 202 JobStatus
+//	POST /v1/grids            admit a grid all-or-nothing  -> 202 {"jobs": [ids]}
+//	GET  /v1/jobs/{id}        status + results JSON (replica-attributed)
+//	GET  /v1/jobs/{id}/events NDJSON: queued → running (+progress) → done|failed
+//	GET  /v1/healthz          coordinator liveness
+//	GET  /v1/statsz           fleet-shaped stats: coordinator totals + per-replica health
+//
+// Trace upload is not proxied (a trace must be uploaded to the replica
+// that will replay it; fleet trace routing is future work), so POST
+// /v1/traces 404s with the standard envelope like any unknown path.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"clustervp/internal/service"
+)
+
+// buildHandler assembles the coordinator's route table once.
+func (co *Coordinator) buildHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", co.handleSubmitJob)
+	mux.HandleFunc("POST /v1/grids", co.handleSubmitGrid)
+	mux.HandleFunc("GET /v1/jobs/{id}", co.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", co.handleJobEvents)
+	mux.HandleFunc("GET /v1/healthz", co.handleHealthz)
+	mux.HandleFunc("GET /v1/statsz", co.handleStatsz)
+	return co.envelopeFallback(mux)
+}
+
+// Handler returns the coordinator's HTTP API.
+func (co *Coordinator) Handler() http.Handler { return co.handler }
+
+// ServeHTTP makes the Coordinator itself mountable.
+func (co *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	co.handler.ServeHTTP(w, r)
+}
+
+// writeJSON matches the single box's two-space-indented rendering so
+// payloads compare byte-for-byte.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError renders a service error through the shared envelope
+// contract.
+func writeError(w http.ResponseWriter, err error) {
+	status, env := service.Envelope(err)
+	if env.Error.RetryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(env.Error.RetryAfterSec))
+	}
+	writeJSON(w, status, env)
+}
+
+// envelopeWriter rewrites the mux's plain-text 404/405 replies into
+// envelopes, exactly like the single box's fallback.
+type envelopeWriter struct {
+	http.ResponseWriter
+	replaced bool
+}
+
+func (w *envelopeWriter) WriteHeader(code int) {
+	if code == http.StatusNotFound || code == http.StatusMethodNotAllowed {
+		if ct := w.Header().Get("Content-Type"); ct == "" || ct == "text/plain; charset=utf-8" {
+			w.replaced = true
+			apiCode, msg := service.CodeNotFound, "no such endpoint"
+			if code == http.StatusMethodNotAllowed {
+				apiCode, msg = service.CodeMethodNotAllowed, "method not allowed"
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Del("X-Content-Type-Options")
+			w.ResponseWriter.WriteHeader(code)
+			json.NewEncoder(w.ResponseWriter).Encode(service.ErrorEnvelope{
+				SchemaVersion: service.SchemaVersion,
+				Error:         service.APIError{Code: apiCode, Message: msg},
+			})
+			return
+		}
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *envelopeWriter) Write(b []byte) (int, error) {
+	if w.replaced {
+		return len(b), nil
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *envelopeWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (co *Coordinator) envelopeFallback(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
+	})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return service.ErrBadRequest
+	}
+	return nil
+}
+
+func (co *Coordinator) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req service.JobRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := co.Submit(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (co *Coordinator) handleSubmitGrid(w http.ResponseWriter, r *http.Request) {
+	var req service.GridRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	ids, err := co.SubmitGrid(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"jobs": ids, "count": len(ids)})
+}
+
+func (co *Coordinator) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := co.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobEvents streams the coordinator's reassembled event feed as
+// NDJSON: the current snapshot first, then forwarded replica progress,
+// then exactly one terminal line — same protocol as the single box, so
+// client.Wait cannot tell them apart.
+func (co *Coordinator) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	co.mu.Lock()
+	j, ok := co.jobs[r.PathValue("id")]
+	co.mu.Unlock()
+	if !ok {
+		writeError(w, service.ErrNoSuchJob)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev service.Event) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	ch, snap := j.subscribe()
+	defer j.unsubscribe(ch)
+	if !emit(snap) {
+		return
+	}
+	if snap.State == service.StateDone || snap.State == service.StateFailed {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			if !emit(ev) {
+				return
+			}
+		case <-j.terminal:
+			emit(j.terminalEvent())
+			return
+		}
+	}
+}
+
+func (co *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "role": "coordinator"})
+}
+
+// ReplicaStatus is one replica's slice of the fleet statsz payload.
+type ReplicaStatus struct {
+	Name       string `json:"name"`
+	Base       string `json:"base"`
+	State      string `json:"state"`
+	InFlight   int    `json:"in_flight"`
+	Dispatched int64  `json:"dispatched"`
+	Completed  int64  `json:"completed"`
+}
+
+// CoordinatorStats is the coordinator section of fleet statsz.
+type CoordinatorStats struct {
+	Capacity   int   `json:"capacity"`
+	InFlight   int   `json:"in_flight"`
+	Submitted  int64 `json:"submitted"`
+	Done       int64 `json:"done"`
+	Failed     int64 `json:"failed"`
+	Resubmits  int64 `json:"resubmits"`
+	LiveShards int   `json:"live_replicas"`
+}
+
+// Stats is the GET /v1/statsz payload of a coordinator: fleet-shaped
+// (role distinguishes it from a replica's payload), same schema
+// versioning discipline.
+type Stats struct {
+	SchemaVersion int              `json:"schema_version"`
+	Role          string           `json:"role"`
+	UptimeSec     float64          `json:"uptime_sec"`
+	Coordinator   CoordinatorStats `json:"coordinator"`
+	Replicas      []ReplicaStatus  `json:"replicas"`
+}
+
+// Stats snapshots the coordinator counters and per-replica health.
+func (co *Coordinator) Stats() Stats {
+	co.mu.Lock()
+	inflight := co.inflight
+	co.mu.Unlock()
+	st := Stats{
+		SchemaVersion: service.SchemaVersion,
+		Role:          "coordinator",
+		UptimeSec:     time.Since(co.start).Seconds(),
+		Coordinator: CoordinatorStats{
+			Capacity:   co.opts.QueueDepth,
+			InFlight:   inflight,
+			Submitted:  co.submitted.Load(),
+			Done:       co.done.Load(),
+			Failed:     co.failed.Load(),
+			Resubmits:  co.resubmits.Load(),
+			LiveShards: co.liveReplicas(),
+		},
+	}
+	for _, r := range co.replicas {
+		r.mu.Lock()
+		st.Replicas = append(st.Replicas, ReplicaStatus{
+			Name:       r.name,
+			Base:       r.base,
+			State:      r.state.String(),
+			InFlight:   r.inflight,
+			Dispatched: r.dispatched,
+			Completed:  r.completed,
+		})
+		r.mu.Unlock()
+	}
+	return st
+}
+
+func (co *Coordinator) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, co.Stats())
+}

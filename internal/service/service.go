@@ -115,6 +115,9 @@ type JobStatus struct {
 	Seed        uint64 `json:"seed,omitempty"`
 	TraceDigest string `json:"trace_digest,omitempty"`
 	Priority    int    `json:"priority,omitempty"`
+	// Replica names the fleet replica a shard ran on; empty on a
+	// single-box server, so the field never appears outside fleet mode.
+	Replica string `json:"replica,omitempty"`
 
 	SubmittedAt time.Time `json:"submitted_at,omitzero"`
 	StartedAt   time.Time `json:"started_at,omitzero"`
@@ -164,14 +167,11 @@ type EngineStats struct {
 	SimInstrsPerSec     float64 `json:"sim_instrs_per_sec"`
 }
 
-// ServerStats is the GET /v1/statsz payload, schema version 1: nested
-// queue/cache/engine sections plus one entry per tenant.
-//
-// Deprecated flat fields: the pre-versioning top-level keys (workers,
-// queue_depth, jobs_done, cache_hit_ratio, ...) are still emitted as
-// mirrors of the nested sections for one release; see ARCHITECTURE.md
-// "Service layer" for the removal schedule. New callers must read the
-// nested sections.
+// ServerStats is the GET /v1/statsz payload, schema version 2: nested
+// queue/cache/engine sections plus one entry per tenant. The
+// pre-versioning flat top-level keys (workers, queue_depth, jobs_done,
+// cache_hit_ratio, ...) were mirrored through schema version 1 and are
+// gone as of version 2 — read the nested sections.
 type ServerStats struct {
 	SchemaVersion int     `json:"schema_version"`
 	UptimeSec     float64 `json:"uptime_sec"`
@@ -180,20 +180,6 @@ type ServerStats struct {
 	Cache   CacheStats    `json:"cache"`
 	Engine  EngineStats   `json:"engine"`
 	Tenants []TenantStats `json:"tenants"`
-
-	// Deprecated: flat mirrors of the sections above, kept one release.
-	Workers             int     `json:"workers"`
-	QueueCapacity       int     `json:"queue_capacity"`
-	QueueDepth          int     `json:"queue_depth"`
-	Running             int     `json:"running"`
-	JobsSubmitted       int64   `json:"jobs_submitted"`
-	JobsDone            int64   `json:"jobs_done"`
-	JobsFailed          int64   `json:"jobs_failed"`
-	SimulationsExecuted int64   `json:"simulations_executed"`
-	CacheHits           int64   `json:"cache_hits"`
-	CachePutErrors      int64   `json:"cache_put_errors"`
-	CacheHitRatio       float64 `json:"cache_hit_ratio"`
-	JobsPerSec          float64 `json:"jobs_per_sec"`
 }
 
 // Options configure a Server.
@@ -630,8 +616,7 @@ func (s *Server) lookupFor(t *tenantState, id string) (*job, bool) {
 }
 
 // Stats snapshots the server counters into the versioned statsz
-// schema: nested queue/cache/engine/tenants sections, with the legacy
-// flat keys mirrored for one release.
+// schema: nested queue/cache/engine/tenants sections.
 func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	depth := len(s.queue)
@@ -668,20 +653,6 @@ func (s *Server) Stats() ServerStats {
 		st.Queue.JobsPerSec = float64(st.Queue.Done) / uptime
 		st.Engine.SimInstrsPerSec = float64(st.Engine.SimInstructions) / uptime
 	}
-
-	// Deprecated flat mirrors (remove with schema_version 2).
-	st.Workers = st.Queue.Workers
-	st.QueueCapacity = st.Queue.Capacity
-	st.QueueDepth = st.Queue.Depth
-	st.Running = st.Queue.Running
-	st.JobsSubmitted = st.Queue.Submitted
-	st.JobsDone = st.Queue.Done
-	st.JobsFailed = st.Queue.Failed
-	st.SimulationsExecuted = st.Engine.SimulationsExecuted
-	st.CacheHits = st.Cache.Hits
-	st.CachePutErrors = st.Cache.PutErrors
-	st.CacheHitRatio = st.Cache.HitRatio
-	st.JobsPerSec = st.Queue.JobsPerSec
 	return st
 }
 

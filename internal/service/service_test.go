@@ -109,7 +109,7 @@ func TestSubmitValidation(t *testing.T) {
 			t.Errorf("Submit(%+v) err = %v, want ErrBadRequest", req, err)
 		}
 	}
-	if n := s.Stats().JobsSubmitted; n != 0 {
+	if n := s.Stats().Queue.Submitted; n != 0 {
 		t.Errorf("rejected submissions still counted: %d", n)
 	}
 }
@@ -227,7 +227,7 @@ func TestQueueBounded(t *testing.T) {
 	if _, err := s.Submit(JobRequest{Kernel: "cjpeg", Scale: 99}); !errors.Is(err, ErrQueueFull) {
 		t.Errorf("submit past capacity err = %v, want ErrQueueFull", err)
 	}
-	before := s.Stats().JobsSubmitted
+	before := s.Stats().Queue.Submitted
 	_, err = s.SubmitGrid(GridRequest{
 		Machines: []config.MachineSpec{{Clusters: "2"}},
 		Kernels:  []string{"epicdec", "mesamipmap"},
@@ -235,7 +235,7 @@ func TestQueueBounded(t *testing.T) {
 	if !errors.Is(err, ErrQueueFull) {
 		t.Errorf("grid past capacity err = %v, want ErrQueueFull", err)
 	}
-	if after := s.Stats().JobsSubmitted; after != before {
+	if after := s.Stats().Queue.Submitted; after != before {
 		t.Errorf("rejected grid admitted %d jobs (all-or-nothing violated)", after-before)
 	}
 }
@@ -300,7 +300,7 @@ func TestUnknownJSONFieldRejected(t *testing.T) {
 			t.Errorf("unknown field accepted with %d, want 400: %s", resp.StatusCode, body)
 		}
 	}
-	if n := s.Stats().JobsSubmitted; n != 0 {
+	if n := s.Stats().Queue.Submitted; n != 0 {
 		t.Errorf("unknown-field submissions still admitted %d jobs", n)
 	}
 }
@@ -400,7 +400,7 @@ func TestRestartServesFromDiskCache(t *testing.T) {
 			t.Errorf("%s: restarted results not byte-identical:\ncold %s\nwarm %s", k, want, got)
 		}
 	}
-	if ratio := warm.Stats().CacheHitRatio; ratio != 1 {
+	if ratio := warm.Stats().Cache.HitRatio; ratio != 1 {
 		t.Errorf("statsz cache hit ratio = %v, want 1", ratio)
 	}
 }
@@ -524,7 +524,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 	if err := json.Unmarshal(zdata, &zs); err != nil {
 		t.Fatal(err)
 	}
-	if zs.JobsDone < 1 || zs.Workers < 1 || zs.QueueCapacity == 0 {
+	if zs.Queue.Done < 1 || zs.Queue.Workers < 1 || zs.Queue.Capacity == 0 {
 		t.Errorf("statsz %+v", zs)
 	}
 

@@ -1,0 +1,242 @@
+// Package servicetest holds test doubles for the service layer. Its
+// centerpiece is Transport, a fault-injecting http.RoundTripper that
+// lets tests script network failure deterministically — dropped
+// requests, connection resets, added latency, synthesized 5xx
+// envelopes, duplicated sends — per route and per count, with no real
+// sockets misbehaving on cue required. The client retry tests and the
+// fleet chaos harness both drive it.
+package servicetest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"clustervp/internal/service"
+)
+
+// ErrInjectedDrop is the transport error a Drop fault returns; it looks
+// like any other transport failure to the caller (wrapped in
+// *url.Error by http.Client), but tests can errors.Is for it.
+var ErrInjectedDrop = errors.New("servicetest: injected request drop")
+
+// ErrInjectedReset is the transport error a Reset fault returns,
+// standing in for a peer closing the connection mid-request.
+var ErrInjectedReset = errors.New("servicetest: injected connection reset")
+
+// Fault is one scripted behavior, matched against requests by method
+// and path substring in registration order; the first matching fault
+// with firings remaining is consumed. Exactly one of Drop, Reset,
+// Status and Duplicate should be set; Delay composes with any of them
+// (and alone means "slow but successful").
+type Fault struct {
+	// Method matches exactly ("" matches any method).
+	Method string
+	// Path is a substring match on the request path ("" matches any).
+	Path string
+	// Times bounds how many requests this fault fires on (<=0 =
+	// every match, forever).
+	Times int
+
+	// Delay is added before any other action.
+	Delay time.Duration
+	// Drop swallows the request: the server never sees it and the
+	// caller gets ErrInjectedDrop.
+	Drop bool
+	// Reset forwards nothing and fails with ErrInjectedReset.
+	Reset bool
+	// Status synthesizes a reply with this code and a versioned error
+	// envelope body, without forwarding. RetryAfterSec, when set, rides
+	// both the header and the envelope.
+	Status        int
+	RetryAfterSec int
+	// Duplicate forwards the request twice (the body replayed via
+	// GetBody); the caller sees only the second reply. The server-side
+	// effect of the first send is the point.
+	Duplicate bool
+
+	remaining int
+}
+
+// Transport is the fault-injecting http.RoundTripper. The zero value
+// is unusable; NewTransport binds it to the real transport it fronts.
+// All methods are safe for concurrent use.
+type Transport struct {
+	mu     sync.Mutex
+	next   http.RoundTripper
+	faults []*Fault
+	seen   []seenReq
+}
+
+type seenReq struct {
+	method string
+	path   string
+}
+
+// NewTransport fronts next (nil = http.DefaultTransport) with an
+// initially fault-free transport.
+func NewTransport(next http.RoundTripper) *Transport {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &Transport{next: next}
+}
+
+// Inject registers a fault. Faults are matched in registration order.
+func (t *Transport) Inject(f Fault) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f.remaining = f.Times
+	t.faults = append(t.faults, &f)
+}
+
+// Requests counts requests seen so far (before fault handling) whose
+// method and path match the filter; "" matches any, path by substring.
+func (t *Transport) Requests(method, path string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, r := range t.seen {
+		if (method == "" || r.method == method) && (path == "" || strings.Contains(r.path, path)) {
+			n++
+		}
+	}
+	return n
+}
+
+// match consumes and returns the first applicable fault, or nil.
+func (t *Transport) match(req *http.Request) *Fault {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seen = append(t.seen, seenReq{method: req.Method, path: req.URL.Path})
+	for _, f := range t.faults {
+		if f.Method != "" && f.Method != req.Method {
+			continue
+		}
+		if f.Path != "" && !strings.Contains(req.URL.Path, f.Path) {
+			continue
+		}
+		if f.Times > 0 {
+			if f.remaining == 0 {
+				continue
+			}
+			f.remaining--
+		}
+		return f
+	}
+	return nil
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f := t.match(req)
+	if f == nil {
+		return t.next.RoundTrip(req)
+	}
+	if f.Delay > 0 {
+		select {
+		case <-time.After(f.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	switch {
+	case f.Drop:
+		drainBody(req)
+		return nil, fmt.Errorf("%s %s: %w", req.Method, req.URL.Path, ErrInjectedDrop)
+	case f.Reset:
+		drainBody(req)
+		return nil, fmt.Errorf("%s %s: %w", req.Method, req.URL.Path, ErrInjectedReset)
+	case f.Status != 0:
+		drainBody(req)
+		return synthesize(req, f.Status, f.RetryAfterSec), nil
+	case f.Duplicate:
+		first, err := t.next.RoundTrip(req)
+		if err != nil {
+			return nil, fmt.Errorf("servicetest: duplicate fault, first send: %w", err)
+		}
+		io.Copy(io.Discard, first.Body)
+		first.Body.Close()
+		second, err := cloneRequest(req)
+		if err != nil {
+			return nil, fmt.Errorf("servicetest: duplicate fault needs a replayable body: %w", err)
+		}
+		return t.next.RoundTrip(second)
+	default:
+		return t.next.RoundTrip(req)
+	}
+}
+
+// drainBody consumes a request body the fault is about to discard, as
+// a real transport would on a broken connection.
+func drainBody(req *http.Request) {
+	if req.Body != nil {
+		io.Copy(io.Discard, req.Body)
+		req.Body.Close()
+	}
+}
+
+// cloneRequest rebuilds the request for a second send.
+func cloneRequest(req *http.Request) (*http.Request, error) {
+	clone := req.Clone(req.Context())
+	if req.Body == nil || req.Body == http.NoBody {
+		return clone, nil
+	}
+	if req.GetBody == nil {
+		return nil, errors.New("no GetBody")
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil, err
+	}
+	clone.Body = body
+	return clone, nil
+}
+
+// synthesize builds the error reply a real clusterd would send for the
+// status code: the versioned envelope with the matching stable code, so
+// client-side decoding paths are exercised end to end.
+func synthesize(req *http.Request, status, retryAfterSec int) *http.Response {
+	code := service.CodeInternal
+	switch status {
+	case http.StatusServiceUnavailable:
+		code = service.CodeQueueFull
+	case http.StatusTooManyRequests:
+		code = service.CodeQuotaExceeded
+	case http.StatusBadGateway, http.StatusGatewayTimeout:
+		code = service.CodeInternal
+	}
+	env := service.ErrorEnvelope{
+		SchemaVersion: service.SchemaVersion,
+		Error: service.APIError{
+			Code:          code,
+			Message:       fmt.Sprintf("injected %d", status),
+			RetryAfterSec: retryAfterSec,
+		},
+	}
+	body, _ := json.Marshal(env)
+	resp := &http.Response{
+		StatusCode: status,
+		Status:     fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     make(http.Header),
+		Body:       io.NopCloser(bytes.NewReader(body)),
+		Request:    req,
+	}
+	resp.Header.Set("Content-Type", "application/json")
+	if retryAfterSec > 0 {
+		resp.Header.Set("Retry-After", strconv.Itoa(retryAfterSec))
+	}
+	return resp
+}
+
+var _ http.RoundTripper = (*Transport)(nil)
