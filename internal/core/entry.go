@@ -36,10 +36,13 @@ const (
 type entry struct {
 	seq int64
 
-	// Kind and payload.
+	// Kind and payload. Only the PC and opcode survive dispatch (for
+	// debug formatting); the full DynInst is consumed at the
+	// decode/rename/steer boundary and not stored per entry.
 	isCopy bool // plain copy instruction
 	isVC   bool // verification-copy
-	dyn    trace.DynInst
+	pc     int
+	op     isa.Opcode
 	class  isa.Class
 	lat    int
 	pipe   bool
@@ -72,9 +75,17 @@ type entry struct {
 	// check will succeed (known functionally; used to decide bus usage).
 	vcCorrect bool
 
-	// deps are consumers of this entry's result, for the selective
-	// reissue cascade.
-	deps []eref
+	// hasVerif marks an entry some pending verification uses as its
+	// provider; its issue lowers the verification queue's next-scan
+	// bound (issue.go: processVerifications).
+	hasVerif bool
+
+	// depHead/depTail chain this entry's consumer edges through the
+	// Sim-owned chunk pool (sched.go): the selective-reissue cascade
+	// walks them in append order, and bitmap wakeup ORs the matching
+	// consumer mask. noChunk when the entry has no consumers.
+	depHead int32
+	depTail int32
 
 	// Control flow.
 	isBranch bool

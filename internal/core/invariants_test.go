@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"reflect"
 	"strings"
 	"testing"
@@ -399,5 +400,137 @@ func TestFPCoverageExtension(t *testing.T) {
 	r := run(t, cfg2, k.Build(1))
 	if r.Instructions != want {
 		t.Errorf("stride+fp committed %d, want %d", r.Instructions, want)
+	}
+}
+
+// checkBitmapInvariants asserts the structural soundness of the bitmap
+// scheduler state after a completed cycle: IQ valid-mask conservation,
+// readiness implying eligibility, and chunk-pool conservation (every
+// dep/event chunk is on exactly one chain — some entry's consumer list,
+// some wheel slot, or the free list).
+func checkBitmapInvariants(t *testing.T, s *Sim, now int64) {
+	t.Helper()
+
+	// Every cluster's valid mask has exactly iqCount[c] bits, and no
+	// ring slot appears in two clusters' masks.
+	var union [nWords]uint64
+	for c := range s.iqW {
+		pop := 0
+		for w, word := range s.iqW[c] {
+			pop += bits.OnesCount64(word)
+			if over := word & union[w]; over != 0 {
+				t.Fatalf("cycle %d: ring slots in two IQ masks (word %d: %#x)", now, w, over)
+			}
+			union[w] |= word
+		}
+		if pop != s.iqCount[c] {
+			t.Fatalf("cycle %d: cluster %d IQ mask popcount %d != iqCount %d", now, c, pop, s.iqCount[c])
+		}
+	}
+
+	// Valid-mask bits only mark live, still-waiting entries.
+	for w, word := range union {
+		for m := word; m != 0; m &= m - 1 {
+			slot := int64(w*64 + bits.TrailingZeros64(m))
+			e := &s.ring[slot]
+			if e.st != stWaiting {
+				t.Fatalf("cycle %d: IQ bit on slot %d in state %d", now, slot, e.st)
+			}
+			if e.seq < s.headSeq || e.seq >= s.nextSeq {
+				t.Fatalf("cycle %d: IQ bit on slot %d outside live window (seq %d)", now, slot, e.seq)
+			}
+		}
+	}
+
+	// Ready bits are a subset of the valid masks, and every marked entry
+	// really is issuable: waiting, live, all sources ready.
+	for w, word := range s.readyW {
+		if stray := word &^ union[w]; stray != 0 {
+			t.Fatalf("cycle %d: ready bits outside IQ masks (word %d: %#x)", now, w, stray)
+		}
+		for m := word; m != 0; m &= m - 1 {
+			slot := int64(w*64 + bits.TrailingZeros64(m))
+			e := &s.ring[slot]
+			if !e.allSrcReady(now) {
+				t.Fatalf("cycle %d: ready bit on slot %d (seq %d) with unready sources", now, slot, e.seq)
+			}
+		}
+	}
+
+	// Dep-pool conservation: chains hanging off ring slots plus the free
+	// list partition the pool exactly.
+	seen := make(map[int32]bool, len(s.depPool))
+	walk := func(head int32, what string) int {
+		n := 0
+		for c := head; c != noChunk; c = s.depPool[c].next {
+			if seen[c] {
+				t.Fatalf("cycle %d: dep chunk %d on two chains (%s)", now, c, what)
+			}
+			seen[c] = true
+			n++
+		}
+		return n
+	}
+	total := walk(s.depFree, "free")
+	for i := range s.ring {
+		total += walk(s.ring[i].depHead, "entry")
+	}
+	if total != len(s.depPool) {
+		t.Fatalf("cycle %d: dep pool leak: %d chunks reachable of %d", now, total, len(s.depPool))
+	}
+
+	// Event-pool conservation over the wheel slots and the free list.
+	evSeen := make(map[int32]bool, len(s.evPool))
+	evWalk := func(head int32, what string) int {
+		n := 0
+		for c := head; c != noChunk; c = s.evPool[c].next {
+			if evSeen[c] {
+				t.Fatalf("cycle %d: event chunk %d on two chains (%s)", now, c, what)
+			}
+			evSeen[c] = true
+			n++
+		}
+		return n
+	}
+	evTotal := evWalk(s.evFree, "free")
+	for sl := range s.wheelHead {
+		evTotal += evWalk(s.wheelHead[sl], "wheel")
+	}
+	if evTotal != len(s.evPool) {
+		t.Fatalf("cycle %d: event pool leak: %d chunks reachable of %d", now, evTotal, len(s.evPool))
+	}
+}
+
+// TestReadyBitmapSoundness steps warm symmetric and asymmetric machines
+// and audits the full bitmap-scheduler state at regular intervals. The
+// differential oracle (oracle_test.go) pins end-to-end equivalence with
+// the reference selector; this test pins the internal representation.
+func TestReadyBitmapSoundness(t *testing.T) {
+	steps := 6000
+	if testing.Short() {
+		steps = 1500
+	}
+	for _, tc := range []struct {
+		name string
+		sim  *Sim
+	}{
+		{"sym", steadySim(t, 50)},
+		{"asym", steadySimCfg(t, asymCfg(), 50)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.sim
+			cycle := int64(5000)
+			for i := 0; i < steps; i++ {
+				if s.drained() {
+					t.Fatalf("drained at step %d", i)
+				}
+				s.step(cycle)
+				if i%97 == 0 {
+					checkBitmapInvariants(t, s, cycle)
+				}
+				cycle++
+			}
+			checkBitmapInvariants(t, s, cycle-1)
+		})
 	}
 }

@@ -1,0 +1,38 @@
+package core
+
+// issueRef is the reference wakeup/select implementation: the original
+// linear ROB scan with lazy per-source readiness checks. It is retained
+// as the oracle for the bitmap selector — oracle_test.go runs whole
+// simulations both ways on randomized asymmetric machines and requires
+// bit-identical statistics. A Sim switched to the reference path
+// (refSelect) never reads the ready bitmaps or the timing wheel, but
+// dispatch and invalidation still maintain them; the wheel slot for the
+// current cycle is drained unprocessed here so reference-mode runs stay
+// bounded in memory.
+func (s *Sim) issueRef(now int64) {
+	s.dropWheelSlot(now)
+
+	for c, r := range s.res {
+		r.BeginCycle(now)
+		s.out.PerCluster[c].IQOccSum += uint64(s.iqCount[c])
+	}
+	dports := s.cfg.DCachePorts
+
+	excessInt, excessFP := s.excessInt, s.excessFP
+	for c := range excessInt {
+		excessInt[c], excessFP[c] = 0, 0
+	}
+
+	for i := s.headSeq; i < s.nextSeq; i++ {
+		e := &s.ring[i%ringCap]
+		if e.st != stWaiting || e.dispatchTime >= now {
+			continue
+		}
+		if !e.allSrcReady(now) {
+			continue
+		}
+		s.tryIssueEntry(e, now, &dports, excessInt, excessFP)
+	}
+
+	s.accumNReady(excessInt, excessFP)
+}

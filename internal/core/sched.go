@@ -1,0 +1,360 @@
+package core
+
+// Bitmapped wakeup/select state. The scheduler-hot state of the ROB
+// lives here in Sim-owned parallel arrays indexed by ring slot
+// (struct-of-arrays), not in the entries themselves:
+//
+//   - iqW[c] is cluster c's valid mask: one bit per ring slot holding a
+//     dispatched, still-waiting entry of that cluster (the instruction
+//     queue). popcount(iqW[c]) == iqCount[c] at all times.
+//   - readyW is the global ready mask: the subset of waiting entries
+//     whose source operands are all ready this cycle. Select walks it
+//     oldest-first with bits.TrailingZeros64. The mask is global rather
+//     than per-cluster because the shared structures it arbitrates —
+//     L1D ports and the inter-cluster buses — are allocated in global
+//     ROB age order; per-cluster ready words are readyW & iqW[c].
+//   - cons[p] is producer slot p's consumer mask: one bit per ring slot
+//     holding an entry that named p as a source provider. Wakeup on
+//     producer completion is a word-OR of cons[p] into recheckW.
+//   - wheel is a timing wheel of wakeup events. A producer pushes one
+//     completion event at issue time, keyed by its doneTime; when it
+//     fires, every flagged consumer recomputes its readiness.
+//
+// Events are hints, not truth: firing rechecks recompute readiness from
+// the entry's sources, so stale events (recycled slots, superseded
+// providers, invalidated producers) are harmless. The invariant that
+// matters is that no wakeup is ever lost — every transition of a
+// waiting entry to "all sources ready" is covered by either a pending
+// wheel event or an inline recheck at the mutation site (dispatch,
+// invalidate, verification resolve). TestReadyBitmapSoundness and the
+// differential oracle in oracle_test.go pin both directions.
+
+import "math/bits"
+
+const (
+	// nWords is the ready/valid bitmap width: one bit per ring slot.
+	nWords = ringCap / 64
+
+	// depChunkSize is the consumer-edge payload of one dep chunk.
+	depChunkSize = 14
+
+	// wheelCap bounds how far ahead a wakeup can be scheduled directly;
+	// farther events chain through the last wheel slot and reschedule
+	// when they fire. Must be a power of two.
+	wheelCap  = 1024
+	wheelMask = wheelCap - 1
+
+	// prodEvent flags a wheel entry as a producer-completion event (the
+	// low bits carry the ring slot).
+	prodEvent = 1 << 15
+
+	// evChunkSize is the event payload of one wheel chunk.
+	evChunkSize = 30
+
+	// noChunk terminates a dep or event chain.
+	noChunk = -1
+)
+
+// depChunk is one block of a producer's consumer-edge list. Edges are
+// stored in chunked, index-linked lists drawn from a single Sim-owned
+// pool so steady-state edge growth never heap-allocates: the pool's
+// high-water mark is global, unlike the previous per-ring-slot deps
+// slices, each of which had to individually warm up to its own maximum
+// fanout (the source of the residual B/op the benchmarks caught).
+// Index links, not pointers, so the pool backing array may grow.
+type depChunk struct {
+	n    int32
+	next int32
+	refs [depChunkSize]eref
+}
+
+// evChunk is one block of a wheel slot's pending-event list. Like dep
+// chunks, events live in chunked index-linked chains drawn from one
+// shared pool: per-wheel-slot slices would each have to warm up to
+// their own maximum occupancy (1024 independent high-water marks),
+// reintroducing the slow allocation trickle the dep pool eliminated.
+type evChunk struct {
+	n    int32
+	next int32
+	evs  [evChunkSize]int32
+}
+
+// sched is the bitmapped wakeup/select state embedded in Sim.
+type sched struct {
+	iqW      [][nWords]uint64 // per-cluster valid (waiting) masks
+	readyW   [nWords]uint64   // global ready mask
+	recheckW [nWords]uint64   // per-cycle scratch: slots to recompute
+	cons     [ringCap][nWords]uint64
+	// consDirty flags ring slots with a nonzero consumer mask, so slot
+	// recycling skips the row clear for the common consumer-less case.
+	consDirty [nWords]uint64
+
+	wheelHead [wheelCap]int32
+	wheelTail [wheelCap]int32
+
+	depPool []depChunk
+	depFree int32
+	evPool  []evChunk
+	evFree  int32
+
+	// nextVerifMin is a lower bound on the earliest cycle any pending
+	// verification can resolve; processVerifications skips its scan
+	// before then. Lowered when a verification provider issues and when
+	// a verification is created against an already-issued provider;
+	// recomputed exactly on every scan.
+	nextVerifMin int64
+}
+
+// initSched sizes the scheduler state for nc clusters. The pools start
+// with capacity for far more simultaneous dependence edges and pending
+// events than a full 512-entry ROB generates, so reaching the
+// high-water mark never allocates after construction.
+func (s *Sim) initSched(nc int) {
+	s.iqW = make([][nWords]uint64, nc)
+	s.depPool = make([]depChunk, 0, 4*ringCap)
+	s.depFree = noChunk
+	s.evPool = make([]evChunk, 0, 4*ringCap/evChunkSize)
+	s.evFree = noChunk
+	for i := range s.wheelHead {
+		s.wheelHead[i], s.wheelTail[i] = noChunk, noChunk
+	}
+}
+
+// --- dependence-edge pool ---
+
+// newChunk pops a recycled chunk or extends the pool.
+func (s *Sim) newChunk() int32 {
+	if ci := s.depFree; ci != noChunk {
+		s.depFree = s.depPool[ci].next
+		s.depPool[ci].n = 0
+		s.depPool[ci].next = noChunk
+		return ci
+	}
+	s.depPool = append(s.depPool, depChunk{next: noChunk})
+	return int32(len(s.depPool) - 1)
+}
+
+// addDep records r as a consumer of producer p: appended to p's edge
+// list (order is semantic — the reissue cascade walks edges in append
+// order, and blockingBranch election depends on it) and OR-able via
+// p's consumer mask for bitmap wakeup.
+func (s *Sim) addDep(p *entry, r eref) {
+	ci := p.depTail
+	if ci == noChunk || s.depPool[ci].n == depChunkSize {
+		nc := s.newChunk()
+		if ci == noChunk {
+			p.depHead = nc
+		} else {
+			s.depPool[ci].next = nc
+		}
+		p.depTail = nc
+		ci = nc
+	}
+	c := &s.depPool[ci]
+	c.refs[c.n] = r
+	c.n++
+	pslot := p.seq % ringCap
+	cslot := r.seq % ringCap
+	s.cons[pslot][cslot>>6] |= 1 << uint(cslot&63)
+	s.consDirty[pslot>>6] |= 1 << uint(pslot&63)
+}
+
+// releaseDeps returns e's edge chunks to the free list and clears the
+// recycled slot's consumer mask. slot is passed by the caller rather
+// than derived from e.seq: a virgin slot still carries seq 0, which
+// would otherwise alias the mask of the live entry in slot 0.
+func (s *Sim) releaseDeps(e *entry, slot int64) {
+	if e.depHead != noChunk {
+		// Splice the whole chain onto the free list in one step.
+		s.depPool[e.depTail].next = s.depFree
+		s.depFree = e.depHead
+		e.depHead, e.depTail = noChunk, noChunk
+	}
+	if s.consDirty[slot>>6]&(1<<uint(slot&63)) != 0 {
+		s.consDirty[slot>>6] &^= 1 << uint(slot&63)
+		for w := range s.cons[slot] {
+			s.cons[slot][w] = 0
+		}
+	}
+}
+
+// --- valid/ready masks ---
+
+func (s *Sim) iqEnter(e *entry) {
+	slot := e.seq % ringCap
+	s.iqW[e.cluster][slot>>6] |= 1 << uint(slot&63)
+	s.iqCount[e.cluster]++
+}
+
+func (s *Sim) iqLeave(e *entry) {
+	slot := e.seq % ringCap
+	m := ^(uint64(1) << uint(slot&63))
+	s.iqW[e.cluster][slot>>6] &= m
+	s.readyW[slot>>6] &= m
+	s.iqCount[e.cluster]--
+}
+
+func (s *Sim) setReady(slot int64)   { s.readyW[slot>>6] |= 1 << uint(slot&63) }
+func (s *Sim) clearReady(slot int64) { s.readyW[slot>>6] &^= 1 << uint(slot&63) }
+
+// --- timing wheel ---
+
+// newEvChunk pops a recycled event chunk or extends the pool.
+func (s *Sim) newEvChunk() int32 {
+	if ci := s.evFree; ci != noChunk {
+		s.evFree = s.evPool[ci].next
+		s.evPool[ci].n = 0
+		s.evPool[ci].next = noChunk
+		return ci
+	}
+	s.evPool = append(s.evPool, evChunk{next: noChunk})
+	return int32(len(s.evPool) - 1)
+}
+
+// scheduleEvent pushes event (a slot, optionally tagged prodEvent) at
+// cycle t as seen from now. Events beyond the horizon chain through the
+// farthest wheel slot: firing early is harmless because firing
+// recomputes state and reschedules, while firing late would lose a
+// wakeup.
+func (s *Sim) scheduleEvent(event int32, t, now int64) {
+	if t-now >= wheelCap {
+		t = now + wheelCap - 1
+	}
+	i := t & wheelMask
+	ci := s.wheelTail[i]
+	if ci == noChunk || s.evPool[ci].n == evChunkSize {
+		nc := s.newEvChunk()
+		if ci == noChunk {
+			s.wheelHead[i] = nc
+		} else {
+			s.evPool[ci].next = nc
+		}
+		s.wheelTail[i] = nc
+		ci = nc
+	}
+	c := &s.evPool[ci]
+	c.evs[c.n] = event
+	c.n++
+}
+
+// dropWheelSlot discards this cycle's pending events unprocessed
+// (reference-selector mode never consults the wheel but dispatch still
+// feeds it; dropping each slot as its turn comes keeps memory bounded).
+func (s *Sim) dropWheelSlot(now int64) {
+	i := now & wheelMask
+	if h := s.wheelHead[i]; h != noChunk {
+		s.evPool[s.wheelTail[i]].next = s.evFree
+		s.evFree = h
+		s.wheelHead[i], s.wheelTail[i] = noChunk, noChunk
+	}
+}
+
+// wakeConsumersAt schedules producer p's completion wakeup for cycle t.
+func (s *Sim) wakeConsumersAt(p *entry, t, now int64) {
+	s.scheduleEvent(int32(p.seq%ringCap)|prodEvent, t, now)
+}
+
+// drainWheel fires this cycle's wakeup events: producer completions
+// word-OR their consumer masks into recheckW, direct rechecks set their
+// own bit, and then every flagged slot recomputes its readiness.
+func (s *Sim) drainWheel(now int64) {
+	wi := now & wheelMask
+	head := s.wheelHead[wi]
+	if head == noChunk {
+		return
+	}
+	// Detach the chain before firing. Processing only schedules into
+	// future cycles (re-arms use doneTime > now, rechecks wake > now),
+	// never back into this slot. Events are read by pool index, not
+	// held pointers: a re-arm may grow evPool and move its backing.
+	s.wheelHead[wi], s.wheelTail[wi] = noChunk, noChunk
+	any := false
+	last := head
+	for ci := head; ci != noChunk; ci = s.evPool[ci].next {
+		last = ci
+		for j := int32(0); j < s.evPool[ci].n; j++ {
+			ev := s.evPool[ci].evs[j]
+			slot := int64(ev &^ prodEvent)
+			if ev&prodEvent != 0 {
+				if e := &s.ring[slot]; e.st == stIssued && e.doneTime > now {
+					// Chained past-horizon completion (or a recycled
+					// slot's new occupant): not done yet, re-arm at its
+					// doneTime.
+					s.wakeConsumersAt(e, e.doneTime, now)
+					continue
+				}
+				for w := range s.recheckW {
+					s.recheckW[w] |= s.cons[slot][w]
+				}
+			} else {
+				s.recheckW[slot>>6] |= 1 << uint(slot&63)
+			}
+			any = true
+		}
+	}
+	s.evPool[last].next = s.evFree
+	s.evFree = head
+	if !any {
+		return
+	}
+	for w := range s.recheckW {
+		m := s.recheckW[w]
+		s.recheckW[w] = 0
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			m &^= 1 << uint(b)
+			s.recheckSlot(int64(w<<6+b), now)
+		}
+	}
+}
+
+// recheckSlot recomputes the readiness of the waiting entry in slot and
+// updates its ready bit. When the entry is not ready but every pending
+// source has a known ready time (an issued provider's doneTime, or a
+// minReady bound), a recheck is scheduled for the latest such time;
+// pending sources whose provider has not issued need no event here —
+// that provider's own issue schedules the completion wakeup.
+func (s *Sim) recheckSlot(slot, now int64) {
+	e := &s.ring[slot]
+	if e.st != stWaiting {
+		return
+	}
+	ready := true
+	var wake int64
+	for i := 0; i < e.nsrc; i++ {
+		src := &e.src[i]
+		if src.predicted {
+			continue
+		}
+		if now < src.minReady {
+			ready = false
+			if src.minReady > wake {
+				wake = src.minReady
+			}
+			continue
+		}
+		p := src.provider.get()
+		if p == nil {
+			continue
+		}
+		if p.st == stIssued {
+			if p.doneTime <= now {
+				continue
+			}
+			ready = false
+			if p.doneTime > wake {
+				wake = p.doneTime
+			}
+		} else {
+			ready = false
+		}
+	}
+	if ready {
+		s.setReady(slot)
+		return
+	}
+	s.clearReady(slot)
+	if wake > now {
+		s.scheduleEvent(int32(slot), wake, now)
+	}
+}

@@ -54,11 +54,19 @@ type Sim struct {
 	iqSize []int
 	bypass []int64
 
-	// ROB ring.
+	// ROB ring. The cold per-entry payload lives in the ring; the
+	// scheduler-hot state (valid/ready bitmaps, consumer masks, wakeup
+	// wheel, dependence-edge pool) lives in the embedded sched as
+	// parallel arrays indexed by ring slot.
 	ring     [ringCap]entry
 	headSeq  int64
 	nextSeq  int64
 	robCount int
+
+	sched
+	// refSelect switches the issue stage to the reference linear-scan
+	// selector (issue_ref.go); used by the differential oracle tests.
+	refSelect bool
 
 	iqCount []int
 
@@ -153,6 +161,9 @@ func NewFromSource(cfg config.Config, src trace.Source, benchmark string) (*Sim,
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.ROBSize > ringCap {
+		return nil, fmt.Errorf("core: ROB size %d exceeds the ring capacity %d", cfg.ROBSize, ringCap)
+	}
 	nc := cfg.NumClusters()
 	s := &Sim{
 		cfg:           cfg,
@@ -169,6 +180,15 @@ func NewFromSource(cfg config.Config, src trace.Source, benchmark string) (*Sim,
 		excessFP:      make([]int, nc),
 		lastFetchLine: -1,
 	}
+	s.initSched(nc)
+	for i := range s.ring {
+		s.ring[i].depHead, s.ring[i].depTail = noChunk, noChunk
+	}
+	// In-flight writers are bounded by ROB occupancy; stocking the
+	// rename table's count-slice pool to that bound up front keeps
+	// steady-state renaming at zero allocations (the pool otherwise
+	// converges only as rename bursts set new high-water marks).
+	s.table.Prewarm(cfg.ROBSize)
 	switch cfg.Steering {
 	case config.SteerRoundRobin:
 		s.str = steer.NewRoundRobin(cfg, s.bal)
@@ -241,7 +261,11 @@ func (s *Sim) consume() { s.havePeek = false }
 func (s *Sim) step(cycle int64) {
 	s.processVerifications(cycle)
 	s.commit(cycle)
-	s.issue(cycle)
+	if s.refSelect {
+		s.issueRef(cycle)
+	} else {
+		s.issue(cycle)
+	}
 	s.dispatch(cycle)
 	s.fetch(cycle)
 	if s.progFn != nil && cycle >= s.progNext {
@@ -304,7 +328,7 @@ func (s *Sim) describeHead(now int64) string {
 	}
 	e := &s.ring[s.headSeq%ringCap]
 	msg := fmt.Sprintf("head seq=%d pc=%d op=%v st=%d cluster=%d unverified=%d",
-		e.seq, e.dyn.PC, e.dyn.Inst.Op, e.st, e.cluster, e.unverified)
+		e.seq, e.pc, e.op, e.st, e.cluster, e.unverified)
 	for i := 0; i < e.nsrc; i++ {
 		msg += fmt.Sprintf(" src%d(ready=%v pred=%v)", i, e.srcReady(i, now), e.src[i].predicted)
 	}
@@ -374,14 +398,15 @@ func (s *Sim) fetch(now int64) {
 	}
 }
 
-// alloc claims the next ROB ring slot. The ring doubles as the entry
-// free-list pool: a slot's deps slice keeps its capacity across
-// recycles, so the dependence edges of a long-running simulation stop
-// allocating once every slot has warmed up.
+// alloc claims the next ROB ring slot, returning the previous
+// occupant's dependence-edge chunks to the shared pool and clearing the
+// slot's consumer mask. The pool's high-water mark is global, so after
+// warmup recycling never heap-allocates.
 func (s *Sim) alloc() *entry {
-	e := &s.ring[s.nextSeq%ringCap]
-	deps := e.deps[:0]
-	*e = entry{seq: s.nextSeq, doneTime: 1 << 62, deps: deps}
+	slot := s.nextSeq % ringCap
+	e := &s.ring[slot]
+	s.releaseDeps(e, slot)
+	*e = entry{seq: s.nextSeq, doneTime: 1 << 62, depHead: noChunk, depTail: noChunk}
 	s.nextSeq++
 	s.robCount++
 	return e
@@ -413,6 +438,7 @@ type opView struct {
 	avail    bool
 	mapped   uint32
 	home     int
+	homeProv eref // provider of the home-cluster mapping (snapshot)
 	conf     bool // confident prediction available
 	correct  bool
 }
@@ -453,6 +479,7 @@ func (s *Sim) analyzeOperands(now int64, f *fetched) []opView {
 		v.home = s.table.Home(r)
 		v.mapped = s.table.MappedMask(r)
 		m := s.table.Lookup(r, v.home)
+		v.homeProv = m.Provider
 		p := m.Provider.get()
 		v.avail = p == nil || p.done(now)
 		v.conf = f.vpConf[i]
@@ -567,6 +594,10 @@ func (s *Sim) dispatchOne(now int64, f *fetched) bool {
 				consumerSrcs[i].predicted = true
 				consumerSrcs[i].predCorrect = v.correct
 				verifs = append(verifs, verification{opIdx: i, provider: prov, correct: v.correct})
+				p.hasVerif = true
+				if p.st == stIssued && p.doneTime+1 < s.nextVerifMin {
+					s.nextVerifMin = p.doneTime + 1
+				}
 				s.out.PredictedOperandsUsed++
 			} else {
 				consumerSrcs[i].provider = prov
@@ -574,8 +605,11 @@ func (s *Sim) dispatchOne(now int64, f *fetched) bool {
 			continue
 		}
 		// Unmapped in the target cluster: copy or verification-copy.
+		// The home-cluster mapping is untouched since analyzeOperands
+		// (earlier operands only AddCopy into the target cluster), so
+		// the snapshotted provider is still current.
 		home := v.home
-		homeProv := s.table.Lookup(v.reg, home).Provider
+		homeProv := v.homeProv
 		if v.conf {
 			vc := s.alloc()
 			vc.isVC = true
@@ -588,10 +622,22 @@ func (s *Sim) dispatchOne(now int64, f *fetched) bool {
 			vc.src[0] = source{reg: v.reg, isFP: v.isFP, provider: homeProv}
 			vc.dispatchTime = now
 			vc.vcCorrect = v.correct
+			vc.hasVerif = true
+			s.iqEnter(vc)
+			// Inline readiness: a freshly dispatched entry has no minReady
+			// bound, so it is ready exactly when its provider's result is
+			// visible. A pending issued provider needs no recheck event —
+			// every issued-not-done entry keeps one completion event armed
+			// on the wheel (re-armed on horizon chaining), which fires the
+			// consumer-mask wakeup this addDep just registered for.
 			if hp := homeProv.get(); hp != nil {
-				hp.deps = append(hp.deps, ref(vc))
+				s.addDep(hp, ref(vc))
+				if hp.done(now) {
+					s.setReady(vc.seq % ringCap)
+				}
+			} else {
+				s.setReady(vc.seq % ringCap)
 			}
-			s.iqCount[home]++
 			s.out.VerifyCopies++
 			s.out.PerCluster[home].CopiesOut++
 			consumerSrcs[i].predicted = true
@@ -611,13 +657,18 @@ func (s *Sim) dispatchOne(now int64, f *fetched) bool {
 			cp.nsrc = 1
 			cp.src[0] = source{reg: v.reg, isFP: v.isFP, provider: homeProv}
 			cp.dispatchTime = now
-			if hp := homeProv.get(); hp != nil {
-				hp.deps = append(hp.deps, ref(cp))
-			}
 			if !s.table.AddCopy(v.reg, cl, ref(cp)) {
 				panic("core: copy register allocation failed after CanAlloc")
 			}
-			s.iqCount[home]++
+			s.iqEnter(cp)
+			if hp := homeProv.get(); hp != nil {
+				s.addDep(hp, ref(cp))
+				if hp.done(now) {
+					s.setReady(cp.seq % ringCap)
+				}
+			} else {
+				s.setReady(cp.seq % ringCap)
+			}
 			s.out.Copies++
 			s.out.PerCluster[home].CopiesOut++
 			consumerSrcs[i].provider = ref(cp)
@@ -626,7 +677,8 @@ func (s *Sim) dispatchOne(now int64, f *fetched) bool {
 
 	// The consumer itself.
 	e := s.alloc()
-	e.dyn = f.dyn
+	e.pc = f.dyn.PC
+	e.op = f.dyn.Inst.Op
 	e.class = info.Class
 	e.lat = info.Latency
 	e.pipe = info.Pipelined
@@ -642,10 +694,21 @@ func (s *Sim) dispatchOne(now int64, f *fetched) bool {
 	e.isStore = info.IsStore
 	e.addr = f.dyn.Addr
 
-	// Register dependence edges for the reissue cascade.
+	// Register dependence edges for the reissue cascade and bitmap
+	// wakeup, computing initial readiness in the same pass (predicted
+	// operands are covered, and pending issued providers carry the
+	// armed completion event that will wake this entry).
+	ready := true
 	for i := 0; i < e.nsrc; i++ {
-		if p := e.src[i].provider.get(); p != nil {
-			p.deps = append(p.deps, ref(e))
+		src := &e.src[i]
+		if src.predicted {
+			continue
+		}
+		if p := src.provider.get(); p != nil {
+			s.addDep(p, ref(e))
+			if !p.done(now) {
+				ready = false
+			}
 		}
 	}
 	// Pending verifications now that the consumer exists.
@@ -667,7 +730,10 @@ func (s *Sim) dispatchOne(now int64, f *fetched) bool {
 	if e.isStore {
 		s.activeStores = append(s.activeStores, ref(e))
 	}
-	s.iqCount[cl]++
+	s.iqEnter(e)
+	if ready {
+		s.setReady(e.seq % ringCap)
+	}
 	s.bal.Dispatched(cl)
 	s.out.PerCluster[cl].Dispatched++
 

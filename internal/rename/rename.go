@@ -18,6 +18,7 @@ package rename
 
 import (
 	"fmt"
+	"math/bits"
 
 	"clustervp/internal/isa"
 )
@@ -62,10 +63,15 @@ func (f *FreeList) Release(n int) {
 }
 
 // Table is the map table: NumRegs logical registers × N cluster fields.
+// The fields are stored flat (row r at fields[r*clusters:]) with a
+// per-register validity bitmask maintained alongside, so the hot
+// dispatch-path queries (MappedMask, the Rename invalidation sweep) are
+// mask reads and popcount-style walks instead of per-cluster scans.
 type Table[P any] struct {
 	clusters int
-	fields   [][]Mapping[P] // [logical][cluster]
-	home     []int          // cluster of the current writer
+	fields   []Mapping[P] // flattened [logical][cluster]
+	mask     []uint32     // per-register bitmask of valid fields
+	home     []int        // cluster of the current writer
 	free     []*FreeList
 	// spare recycles the per-writer freeAtCommit count slices between
 	// Rename and ReleaseAtCommit, so steady-state renaming allocates
@@ -86,23 +92,37 @@ func New[P any](physRegs []int) *Table[P] {
 	}
 	t := &Table[P]{
 		clusters: clusters,
-		fields:   make([][]Mapping[P], isa.NumRegs),
+		fields:   make([]Mapping[P], isa.NumRegs*clusters),
+		mask:     make([]uint32, isa.NumRegs),
 		home:     make([]int, isa.NumRegs),
 		free:     make([]*FreeList, clusters),
 	}
 	for c := range t.free {
 		t.free[c] = NewFreeList(physRegs[c])
 	}
-	for r := range t.fields {
-		t.fields[r] = make([]Mapping[P], clusters)
+	for r := 0; r < isa.NumRegs; r++ {
 		c := r % clusters
 		t.home[r] = c
 		if !t.free[c].Alloc() {
 			panic("rename: register file too small for initial architectural state")
 		}
-		t.fields[r][c] = Mapping[P]{Valid: true} // zero provider = ready
+		t.fields[r*clusters+c] = Mapping[P]{Valid: true} // zero provider = ready
+		t.mask[r] = 1 << uint(c)
 	}
 	return t
+}
+
+// Prewarm stocks the spare pool with n freeAtCommit slices up front.
+// The pool otherwise grows lazily to the high-water mark of in-flight
+// writers, which can take arbitrarily long to converge (a rename burst
+// deep into a run still allocates); callers that know a hard bound —
+// the timing core's ROB size bounds in-flight writers — can pin
+// steady-state renaming to exactly zero allocations.
+func (t *Table[P]) Prewarm(n int) {
+	t.spare = make([][]int, n, 2*n)
+	for i := range t.spare {
+		t.spare[i] = make([]int, t.clusters)
+	}
 }
 
 // Clusters returns N.
@@ -112,18 +132,12 @@ func (t *Table[P]) Clusters() int { return t.clusters }
 func (t *Table[P]) FreeRegs(c int) int { return t.free[c].Free() }
 
 // Lookup returns the mapping of logical register r in cluster c.
-func (t *Table[P]) Lookup(r isa.RegID, c int) Mapping[P] { return t.fields[r][c] }
+func (t *Table[P]) Lookup(r isa.RegID, c int) Mapping[P] {
+	return t.fields[int(r)*t.clusters+c]
+}
 
 // MappedMask returns the bitmask of clusters where r has a valid mapping.
-func (t *Table[P]) MappedMask(r isa.RegID) uint32 {
-	var m uint32
-	for c, f := range t.fields[r] {
-		if f.Valid {
-			m |= 1 << uint(c)
-		}
-	}
-	return m
-}
+func (t *Table[P]) MappedMask(r isa.RegID) uint32 { return t.mask[r] }
 
 // Home returns the cluster of r's current writer.
 func (t *Table[P]) Home(r isa.RegID) int { return t.home[r] }
@@ -153,13 +167,14 @@ func (t *Table[P]) Rename(r isa.RegID, c int, p P) (freeAtCommit []int, ok bool)
 	} else {
 		freeAtCommit = make([]int, t.clusters)
 	}
-	for i := range t.fields[r] {
-		if t.fields[r][i].Valid {
-			freeAtCommit[i]++
-		}
-		t.fields[r][i] = Mapping[P]{}
+	row := t.fields[int(r)*t.clusters : int(r+1)*t.clusters]
+	for m := t.mask[r]; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros32(m)
+		freeAtCommit[i]++
+		row[i] = Mapping[P]{}
 	}
-	t.fields[r][c] = Mapping[P]{Valid: true, Provider: p}
+	row[c] = Mapping[P]{Valid: true, Provider: p}
+	t.mask[r] = 1 << uint(c)
 	t.home[r] = c
 	return freeAtCommit, true
 }
@@ -169,23 +184,26 @@ func (t *Table[P]) Rename(r isa.RegID, c int, p P) (freeAtCommit []int, ok bool)
 // ok is false when no register is free. The copy's register joins the
 // current mapping generation and is freed by the next writer's commit.
 func (t *Table[P]) AddCopy(r isa.RegID, c int, p P) bool {
-	if t.fields[r][c].Valid {
+	i := int(r)*t.clusters + c
+	if t.fields[i].Valid {
 		panic(fmt.Sprintf("rename: AddCopy(%v, %d): already mapped", r, c))
 	}
 	if !t.free[c].Alloc() {
 		return false
 	}
-	t.fields[r][c] = Mapping[P]{Valid: true, Provider: p}
+	t.fields[i] = Mapping[P]{Valid: true, Provider: p}
+	t.mask[r] |= 1 << uint(c)
 	return true
 }
 
 // SetProvider replaces the provider token of an existing valid mapping
 // (used when a committed provider's token must be cleared to "ready").
 func (t *Table[P]) SetProvider(r isa.RegID, c int, p P) {
-	if !t.fields[r][c].Valid {
+	i := int(r)*t.clusters + c
+	if !t.fields[i].Valid {
 		return
 	}
-	t.fields[r][c].Provider = p
+	t.fields[i].Provider = p
 }
 
 // ReleaseAtCommit returns the registers of a dead mapping generation to

@@ -138,6 +138,13 @@ func ReadBenchJSONFile(path string) ([]BenchRecord, error) {
 // meaningful. Benchmarks missing from either side are skipped — adding
 // a benchmark must not break CI, and removing one is reviewed in the
 // diff anyway.
+//
+// Allocation counts are gated separately and absolutely: a benchmark
+// whose baseline records 0 B/op or 0 allocs/op and now reports a
+// nonzero value is always a regression, regardless of tolerance or
+// calibration — zero-allocation steady state is a correctness property
+// of the scheduler pools, not a speed measurement, and no machine-speed
+// scaling excuses losing it.
 func CompareBench(baseline, current []BenchRecord, tolerance float64, calibrate string) []string {
 	base := map[string]BenchRecord{}
 	for _, r := range baseline {
@@ -160,6 +167,18 @@ func CompareBench(baseline, current []BenchRecord, tolerance float64, calibrate 
 	}
 	var regressions []string
 	for _, cur := range current {
+		if b, ok := base[cur.Name]; ok {
+			if b.BytesPerOp == 0 && cur.BytesPerOp > 0 {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.0f B/op vs baseline 0 B/op (zero-allocation gate, no tolerance)",
+						cur.Name, cur.BytesPerOp))
+			}
+			if b.AllocsPerOp == 0 && cur.AllocsPerOp > 0 {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.0f allocs/op vs baseline 0 allocs/op (zero-allocation gate, no tolerance)",
+						cur.Name, cur.AllocsPerOp))
+			}
+		}
 		if cur.Name == calibrate {
 			continue
 		}

@@ -90,3 +90,45 @@ func TestCompareBench(t *testing.T) {
 		t.Errorf("uncalibrated comparison found %d regressions, want 3", len(regs))
 	}
 }
+
+func TestCompareBenchAllocGate(t *testing.T) {
+	base := []BenchRecord{
+		{Name: "BenchmarkZero", NsPerOp: 1000, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "BenchmarkDirty", NsPerOp: 1000, BytesPerOp: 64, AllocsPerOp: 2},
+		{Name: "BenchmarkCalibration", NsPerOp: 100},
+	}
+	for _, tc := range []struct {
+		name string
+		cur  BenchRecord
+		want int // regressions expected
+		frag string
+	}{
+		{"stays_zero", BenchRecord{Name: "BenchmarkZero", NsPerOp: 1000}, 0, ""},
+		{"bytes_leak", BenchRecord{Name: "BenchmarkZero", NsPerOp: 1000, BytesPerOp: 5}, 1, "5 B/op"},
+		{"allocs_leak", BenchRecord{Name: "BenchmarkZero", NsPerOp: 1000, AllocsPerOp: 1}, 1, "1 allocs/op"},
+		{"both_leak", BenchRecord{Name: "BenchmarkZero", NsPerOp: 1000, BytesPerOp: 8, AllocsPerOp: 1}, 2, "zero-allocation gate"},
+		// A benchmark that already allocated in the baseline is governed
+		// by review, not the gate.
+		{"dirty_grows", BenchRecord{Name: "BenchmarkDirty", NsPerOp: 1000, BytesPerOp: 128, AllocsPerOp: 4}, 0, ""},
+		// New benchmarks have no baseline to hold them to.
+		{"new_bench", BenchRecord{Name: "BenchmarkNew", NsPerOp: 1000, BytesPerOp: 999, AllocsPerOp: 9}, 0, ""},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			regs := CompareBench(base, []BenchRecord{tc.cur}, 0.2, "")
+			if len(regs) != tc.want {
+				t.Fatalf("regressions = %v, want %d", regs, tc.want)
+			}
+			if tc.frag != "" && !strings.Contains(strings.Join(regs, "\n"), tc.frag) {
+				t.Errorf("regressions %v lack %q", regs, tc.frag)
+			}
+		})
+	}
+
+	// The alloc gate ignores calibration scaling and fires even on the
+	// calibration benchmark itself, and even when ns/op improved.
+	calBase := []BenchRecord{{Name: "BenchmarkCalibration", NsPerOp: 100, BytesPerOp: 0, AllocsPerOp: 0}}
+	calCur := []BenchRecord{{Name: "BenchmarkCalibration", NsPerOp: 50, BytesPerOp: 16, AllocsPerOp: 1}}
+	if regs := CompareBench(calBase, calCur, 0.2, "BenchmarkCalibration"); len(regs) != 2 {
+		t.Errorf("alloc gate skipped the calibration benchmark: %v", regs)
+	}
+}

@@ -159,6 +159,7 @@ type Steerer struct {
 	vpbThresh int64 // VPB M2 threshold
 	allMask   uint32
 	bal       *Balancer
+	counts    [32]int64 // per-Choose DCOUNT snapshot scratch
 }
 
 // New builds a Steerer from the machine configuration, sharing the given
@@ -197,9 +198,24 @@ func (s *Steerer) Choose(ops []Operand) int {
 	if s.clusters == 1 {
 		return 0
 	}
-	imbalance := s.bal.Imbalance()
+	// Materialize the DCOUNT counters once: the imbalance test and every
+	// least-loaded selection below read the same snapshot (the counters
+	// only change on Dispatched, never mid-Choose).
+	b := s.bal
+	counts := s.counts[:s.clusters]
+	var imbalance int64
+	for c := range counts {
+		v := b.wsum*b.disp[c] - b.weights[c]*b.total
+		counts[c] = v
+		if v < 0 {
+			v = -v
+		}
+		if v > imbalance {
+			imbalance = v
+		}
+	}
 	if imbalance > s.threshold {
-		return s.bal.LeastLoaded(0)
+		return leastIn(counts, s.allMask)
 	}
 
 	useM1 := s.kind == config.SteerModified || s.kind == config.SteerVPB
@@ -209,7 +225,8 @@ func (s *Steerer) Choose(ops []Operand) int {
 	// Rule 2.1: pending operands pin the candidates to their producer
 	// clusters.
 	var pendingMask uint32
-	for _, op := range ops {
+	for i := range ops {
+		op := &ops[i]
 		avail := op.Available
 		if useM1 && op.Predicted {
 			avail = true
@@ -219,38 +236,79 @@ func (s *Steerer) Choose(ops []Operand) int {
 		}
 	}
 	if pendingMask != 0 {
-		return s.bal.LeastLoaded(pendingMask)
+		return leastIn(counts, pendingMask)
 	}
 
-	// Rule 2.2: clusters with the greatest number of mapped operands.
+	// Rule 2.2: clusters with the greatest number of mapped operands,
+	// computed bit-parallel on the per-operand mapped masks (an M2
+	// predicted operand counts as mapped everywhere). With at most two
+	// source operands the max-count cluster set is the mask intersection
+	// when nonempty, else the union.
 	if len(ops) > 0 {
-		best := -1
 		var bestMask uint32
-		for c := 0; c < s.clusters; c++ {
-			n := 0
-			for _, op := range ops {
-				mapped := op.MappedIn&(1<<uint(c)) != 0
-				if useM2 && op.Predicted {
-					mapped = true
-				}
-				if mapped {
-					n++
-				}
+		if len(ops) <= 2 {
+			var m0, m1 uint32
+			m0 = ops[0].MappedIn
+			if useM2 && ops[0].Predicted {
+				m0 = s.allMask
 			}
-			if n > best {
-				best = n
-				bestMask = 1 << uint(c)
-			} else if n == best {
-				bestMask |= 1 << uint(c)
+			if len(ops) == 2 {
+				m1 = ops[1].MappedIn
+				if useM2 && ops[1].Predicted {
+					m1 = s.allMask
+				}
+				if both := m0 & m1; both != 0 {
+					bestMask = both
+				} else {
+					bestMask = m0 | m1
+				}
+			} else {
+				bestMask = m0
+			}
+		} else {
+			best := 0
+			for c := 0; c < s.clusters; c++ {
+				n := 0
+				for i := range ops {
+					op := &ops[i]
+					if op.MappedIn&(1<<uint(c)) != 0 || (useM2 && op.Predicted) {
+						n++
+					}
+				}
+				if n > best {
+					best = n
+					bestMask = 1 << uint(c)
+				} else if n == best && n > 0 {
+					bestMask |= 1 << uint(c)
+				}
 			}
 		}
-		if best > 0 {
-			return s.bal.LeastLoaded(bestMask)
+		if bestMask != 0 {
+			return leastIn(counts, bestMask)
 		}
 	}
 
 	// Rule 2.3: no constraints.
-	return s.bal.LeastLoaded(s.allMask)
+	return leastIn(counts, s.allMask)
+}
+
+// leastIn returns the cluster with the minimum counter among those in
+// mask (nonzero). Ties break toward the lower cluster index.
+func leastIn(counts []int64, mask uint32) int {
+	best := -1
+	var bestCount int64
+	for c := range counts {
+		if mask&(1<<uint(c)) == 0 {
+			continue
+		}
+		if v := counts[c]; best == -1 || v < bestCount {
+			best, bestCount = c, v
+		}
+	}
+	if best == -1 {
+		return 0
+	}
+	return best
 }
 
 // Balancer returns the shared balancer.
