@@ -12,9 +12,14 @@ package clustervp_test
 
 import (
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"clustervp"
+	"clustervp/internal/config"
+	"clustervp/internal/core"
+	"clustervp/internal/trace"
+	"clustervp/internal/workload"
 )
 
 // benchKernels is a representative cross-section of Table 2: integer
@@ -241,6 +246,84 @@ func BenchmarkCalibration(b *testing.B) {
 	}
 	if acc == 0 {
 		b.Fatal("unreachable; defeats dead-code elimination")
+	}
+}
+
+// BenchmarkGridThroughput measures the cold-job grid path end to end:
+// a 12-job trace-replay grid (3 kernels x 4 machines) through a fresh
+// Engine every iteration, so result memoization never fires and every
+// job pays simulator construction (via the Sim pool) and trace decode
+// (via the shared arena). The allocs/job metric is the CI-gated figure
+// for the cold-path rework: it counts every allocation in the timed
+// region — workers, scheduling and simulation — divided by jobs run.
+func BenchmarkGridThroughput(b *testing.B) {
+	dir := b.TempDir()
+	cfgs := []clustervp.Config{
+		clustervp.Preset(1),
+		clustervp.Preset(2),
+		clustervp.Preset(4),
+		clustervp.Preset(4).WithVP(clustervp.VPStride).WithSteering(clustervp.SteerVPB),
+	}
+	var jobs []clustervp.Job
+	for _, c := range cfgs {
+		for _, k := range []string{"cjpeg", "gsmdec", "rawcaudio"} {
+			jobs = append(jobs, clustervp.Job{Config: c, Kernel: k, Scale: 1})
+		}
+	}
+	traced, err := clustervp.MaterializeTraces(dir, jobs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm pass: populates the shared trace arena and Sim pool so the
+	// timed region measures the steady-state cold-job path rather than
+	// first-touch decoding.
+	if err := clustervp.FirstErr(clustervp.NewEngine(0).Run(traced)); err != nil {
+		b.Fatal(err)
+	}
+
+	var insts uint64
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs := clustervp.NewEngine(0).Run(traced)
+		for _, r := range rs {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			insts += r.Res.Instructions
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&m1)
+	jobsRun := float64(b.N * len(traced))
+	b.ReportMetric(jobsRun/b.Elapsed().Seconds(), "jobs/s")
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "sim-instrs/s")
+	b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/jobsRun, "allocs/job")
+}
+
+// BenchmarkSimReset isolates the Sim.Reset lifecycle — the cost a
+// pooled simulator pays per job instead of full construction: rewinding
+// the ROB ring, rename tables, scheduler bitmaps, caches and stats in
+// place.
+func BenchmarkSimReset(b *testing.B) {
+	cfg := config.Preset(4).WithVP(config.VPStride).WithSteering(config.SteerVPB)
+	prog, err := workload.Build("rawcaudio", 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := trace.NewExecutor(prog)
+	s, err := core.NewFromSource(cfg, src, prog.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Reset(cfg, src, prog.Name); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -173,17 +173,66 @@ func WriteKernelTrace(path, kernel string, scale int, seed uint64) (uint64, erro
 }
 
 // RunTraceFile simulates a pre-recorded .cvt trace under cfg, streaming
-// it from disk — the trace never needs to fit in memory.
+// it from disk through the synchronous reference reader — the trace
+// never needs to fit in memory. RunTraceFileInMemory and
+// RunTraceFilePipelined replay the same file through the decode-once
+// and decode-ahead paths; all three produce byte-identical Results.
 func RunTraceFile(cfg Config, path string) (Results, error) {
 	fr, err := trace.OpenFile(path)
 	if err != nil {
 		return Results{}, err
 	}
 	defer fr.Close()
-	sim, err := core.NewFromSource(cfg, fr, fr.Name())
+	sim, err := core.DefaultPool.Get(cfg, fr, fr.Name())
 	if err != nil {
 		return Results{}, err
 	}
+	defer core.DefaultPool.Put(sim)
+	return sim.Run()
+}
+
+// RunTraceFileInMemory decodes the whole .cvt file into the columnar
+// in-memory form up front (validating every CRC), then replays it with
+// a zero-allocation cursor. This is the replay mode the grid engine's
+// trace arena uses for traces within its byte budget.
+func RunTraceFileInMemory(cfg Config, path string) (Results, error) {
+	fr, err := trace.OpenFile(path)
+	if err != nil {
+		return Results{}, err
+	}
+	mt, err := trace.ReadMem(fr.Reader)
+	cerr := fr.Close()
+	if err != nil {
+		return Results{}, err
+	}
+	if cerr != nil {
+		return Results{}, cerr
+	}
+	sim, err := core.DefaultPool.Get(cfg, mt.NewCursor(), mt.Name())
+	if err != nil {
+		return Results{}, err
+	}
+	defer core.DefaultPool.Put(sim)
+	return sim.Run()
+}
+
+// RunTraceFilePipelined streams the .cvt file through the decode-ahead
+// reader, overlapping CRC and varint-delta decoding with simulation.
+// This is the replay mode the grid engine uses for traces its arena
+// does not hold.
+func RunTraceFilePipelined(cfg Config, path string) (Results, error) {
+	fr, err := trace.OpenFile(path)
+	if err != nil {
+		return Results{}, err
+	}
+	defer fr.Close()
+	p := trace.NewPipelined(fr.Reader)
+	defer p.Close()
+	sim, err := core.DefaultPool.Get(cfg, p, p.Name())
+	if err != nil {
+		return Results{}, err
+	}
+	defer core.DefaultPool.Put(sim)
 	return sim.Run()
 }
 
@@ -205,12 +254,16 @@ func Run(cfg Config, kernel string, scale int) (Results, error) {
 	return RunProgram(cfg, prog)
 }
 
-// RunProgram simulates an arbitrary assembled program under cfg.
+// RunProgram simulates an arbitrary assembled program under cfg. The
+// simulator instance is drawn from the process-wide pool; reuse is an
+// allocation optimization only and results are identical to a cold
+// construction.
 func RunProgram(cfg Config, prog *program.Program) (Results, error) {
-	sim, err := core.New(cfg, prog)
+	sim, err := core.DefaultPool.Get(cfg, trace.NewExecutor(prog), prog.Name)
 	if err != nil {
 		return Results{}, err
 	}
+	defer core.DefaultPool.Put(sim)
 	return sim.Run()
 }
 

@@ -15,6 +15,10 @@
 // tenant's admission quotas are enforced at submit time. Without it the
 // server runs open, as before.
 //
+// -pprof 127.0.0.1:6060 additionally serves net/http/pprof on that
+// separate (keep it loopback) listener — off by default, and never
+// exposed through the API address.
+//
 // Fleet mode: -coordinator turns the process into a fleet coordinator
 // instead of a worker — it runs no simulations itself, but admits jobs
 // once, shards them deterministically by fingerprint hash across the
@@ -47,6 +51,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"os"
 	"os/signal"
@@ -74,12 +79,19 @@ func main() {
 	replicasFlag := flag.String("replicas", "", "comma-separated replica base URLs the coordinator shards across")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "coordinator health-probe period")
 	apiKey := flag.String("api-key", "", "API key the coordinator presents to multi-tenant replicas")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060; empty = off)")
 	flag.Parse()
 
 	logger, err := buildLogger(*logFormat, *logLevel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "clusterd:", err)
 		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		if err := startPprof(*pprofAddr, logger); err != nil {
+			fmt.Fprintln(os.Stderr, "clusterd:", err)
+			os.Exit(2)
+		}
 	}
 	if *coordinator {
 		replicas, err := parseReplicas(*replicasFlag)
@@ -126,6 +138,30 @@ func parseReplicas(s string) ([]string, error) {
 		return nil, errors.New("-replicas: no usable URLs")
 	}
 	return out, nil
+}
+
+// startPprof serves the net/http/pprof handlers on their own listener
+// with a dedicated mux, so the profiling surface is never reachable
+// through the API address (and never passes through auth, logging or
+// the fleet router). Off unless -pprof is given; bind it to loopback.
+func startPprof(addr string, logger *slog.Logger) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-pprof %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("pprof listening", "url", fmt.Sprintf("http://%s/debug/pprof/", ln.Addr()))
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			logger.Error("pprof server exited", "err", err)
+		}
+	}()
+	return nil
 }
 
 // workersQueue bundles the two pool knobs so run keeps a readable arity.

@@ -44,15 +44,21 @@ func (c Config) Validate() error {
 }
 
 // Cache is a set-associative cache with true-LRU replacement.
+//
+// The per-set state is stored flat (set s occupies [s*Assoc, (s+1)*Assoc)
+// of each array) rather than as per-set slices: a 1024-set cache is three
+// allocations instead of ~3000, constructing the default hierarchy stops
+// dominating cold-path allocation profiles, and way scans walk contiguous
+// memory.
 type Cache struct {
 	cfg     Config
 	sets    int
 	setMask uint64
 	lineSh  uint
-	// tags[set][way]; lru[set][way] holds recency (higher = more recent).
-	tags  [][]uint64
-	valid [][]bool
-	lru   [][]uint64
+	// tags[set*Assoc+way]; lru holds recency (higher = more recent).
+	tags  []uint64
+	valid []bool
+	lru   []uint64
 	clock uint64
 
 	// Stats.
@@ -71,15 +77,29 @@ func New(cfg Config) *Cache {
 	for sh := cfg.LineBytes; sh > 1; sh >>= 1 {
 		c.lineSh++
 	}
-	c.tags = make([][]uint64, sets)
-	c.valid = make([][]bool, sets)
-	c.lru = make([][]uint64, sets)
-	for i := 0; i < sets; i++ {
-		c.tags[i] = make([]uint64, cfg.Assoc)
-		c.valid[i] = make([]bool, cfg.Assoc)
-		c.lru[i] = make([]uint64, cfg.Assoc)
-	}
+	c.tags = make([]uint64, sets*cfg.Assoc)
+	c.valid = make([]bool, sets*cfg.Assoc)
+	c.lru = make([]uint64, sets*cfg.Assoc)
 	return c
+}
+
+// Reset returns the cache to its freshly constructed state — every line
+// invalid, LRU clock and statistics zeroed — without reallocating the
+// backing arrays, so a pooled simulator can rebind to a new run at
+// memclr cost instead of rebuilding thousands of per-set slices.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+	}
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	for i := range c.lru {
+		c.lru[i] = 0
+	}
+	c.clock = 0
+	c.Accesses = 0
+	c.Misses = 0
 }
 
 // Config returns the cache geometry.
@@ -89,8 +109,9 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) Probe(addr uint64) bool {
 	set := (addr >> c.lineSh) & c.setMask
 	tag := addr >> c.lineSh
+	base := int(set) * c.cfg.Assoc
 	for w := 0; w < c.cfg.Assoc; w++ {
-		if c.valid[set][w] && c.tags[set][w] == tag {
+		if c.valid[base+w] && c.tags[base+w] == tag {
 			return true
 		}
 	}
@@ -104,9 +125,10 @@ func (c *Cache) Lookup(addr uint64) bool {
 	c.clock++
 	set := (addr >> c.lineSh) & c.setMask
 	tag := addr >> c.lineSh
+	base := int(set) * c.cfg.Assoc
 	for w := 0; w < c.cfg.Assoc; w++ {
-		if c.valid[set][w] && c.tags[set][w] == tag {
-			c.lru[set][w] = c.clock
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			c.lru[base+w] = c.clock
 			return true
 		}
 	}
@@ -114,26 +136,26 @@ func (c *Cache) Lookup(addr uint64) bool {
 	// Fill the LRU way.
 	victim := 0
 	for w := 1; w < c.cfg.Assoc; w++ {
-		if !c.valid[set][w] {
+		if !c.valid[base+w] {
 			victim = w
 			break
 		}
-		if c.lru[set][w] < c.lru[set][victim] {
+		if c.lru[base+w] < c.lru[base+victim] {
 			victim = w
 		}
 	}
-	if !c.valid[set][victim] {
+	if !c.valid[base+victim] {
 		// Prefer any invalid way over the LRU valid one.
 		for w := 0; w < c.cfg.Assoc; w++ {
-			if !c.valid[set][w] {
+			if !c.valid[base+w] {
 				victim = w
 				break
 			}
 		}
 	}
-	c.tags[set][victim] = tag
-	c.valid[set][victim] = true
-	c.lru[set][victim] = c.clock
+	c.tags[base+victim] = tag
+	c.valid[base+victim] = true
+	c.lru[base+victim] = c.clock
 	return false
 }
 
@@ -172,6 +194,14 @@ type Hierarchy struct {
 	L1D *Cache
 	L2  *Cache
 	Mem MemoryConfig
+}
+
+// Reset rewinds all three levels to cold state without reallocating
+// (see Cache.Reset); the memory bus config is stateless.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
 }
 
 // DefaultHierarchy returns the paper's Table 1 hierarchy.

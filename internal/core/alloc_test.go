@@ -137,7 +137,7 @@ func TestPoolConservation(t *testing.T) {
 // depends on walking edges in insertion order.
 func TestDepPoolRecyclesChunks(t *testing.T) {
 	s := &Sim{}
-	s.initSched(1)
+	s.resetSched(1)
 	for i := range s.ring {
 		s.ring[i].depHead, s.ring[i].depTail = noChunk, noChunk
 	}

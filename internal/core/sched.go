@@ -105,19 +105,52 @@ type sched struct {
 	nextVerifMin int64
 }
 
-// initSched sizes the scheduler state for nc clusters. The pools start
-// with capacity for far more simultaneous dependence edges and pending
-// events than a full 512-entry ROB generates, so reaching the
-// high-water mark never allocates after construction.
-func (s *Sim) initSched(nc int) {
-	s.iqW = make([][nWords]uint64, nc)
-	s.depPool = make([]depChunk, 0, 4*ringCap)
-	s.depFree = noChunk
-	s.evPool = make([]evChunk, 0, 4*ringCap/evChunkSize)
-	s.evFree = noChunk
+// resetSched sizes (or rewinds) the scheduler state for nc clusters. On
+// a fresh Sim the pools start with capacity for far more simultaneous
+// dependence edges and pending events than a full 512-entry ROB
+// generates, so reaching the high-water mark never allocates after
+// construction; on a reused Sim the bitmap storage and pool backing
+// arrays are kept and only their contents are rewound. Consumer-mask
+// rows are cleared via consDirty, so the sweep touches only rows a
+// prior run actually wrote.
+func (s *Sim) resetSched(nc int) {
+	if len(s.iqW) != nc {
+		s.iqW = make([][nWords]uint64, nc)
+	} else {
+		for c := range s.iqW {
+			s.iqW[c] = [nWords]uint64{}
+		}
+	}
+	s.readyW = [nWords]uint64{}
+	s.recheckW = [nWords]uint64{}
+	for w := range s.consDirty {
+		m := s.consDirty[w]
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			m &^= 1 << uint(b)
+			slot := w<<6 + b
+			for j := range s.cons[slot] {
+				s.cons[slot][j] = 0
+			}
+		}
+		s.consDirty[w] = 0
+	}
 	for i := range s.wheelHead {
 		s.wheelHead[i], s.wheelTail[i] = noChunk, noChunk
 	}
+	if s.depPool == nil {
+		s.depPool = make([]depChunk, 0, 4*ringCap)
+	} else {
+		s.depPool = s.depPool[:0]
+	}
+	s.depFree = noChunk
+	if s.evPool == nil {
+		s.evPool = make([]evChunk, 0, 4*ringCap/evChunkSize)
+	} else {
+		s.evPool = s.evPool[:0]
+	}
+	s.evFree = noChunk
+	s.nextVerifMin = 0
 }
 
 // --- dependence-edge pool ---

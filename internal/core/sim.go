@@ -43,11 +43,15 @@ type Sim struct {
 	vp     vpred.Predictor
 	caches cache.Oracle
 	hier   *cache.Hierarchy // nil when PerfectCaches
-	net    interconnect.Topology
-	bal    *steer.Balancer
-	str    steer.Chooser
-	table  *rename.Table[eref]
-	res    []*cluster.Resources
+	// hierMem persists the hierarchy's backing arrays across Resets so a
+	// pooled Sim alternating with PerfectCaches configs does not rebuild
+	// them; hier points at it (or nil) per the current config.
+	hierMem *cache.Hierarchy
+	net     interconnect.Topology
+	bal     *steer.Balancer
+	str     steer.Chooser
+	table   *rename.Table[eref]
+	res     []*cluster.Resources
 	// Per-cluster constants hoisted out of the spec slice so the hot
 	// loop never chases cfg.Clusters[c]: IQ sizes for the dispatch
 	// structural check and extra bypass cycles for result visibility.
@@ -158,37 +162,103 @@ func New(cfg config.Config, prog *program.Program) (*Sim, error) {
 // reader, or anything else satisfying trace.Source. benchmark labels
 // the stream in the results.
 func NewFromSource(cfg config.Config, src trace.Source, benchmark string) (*Sim, error) {
-	if err := cfg.Validate(); err != nil {
+	s := &Sim{}
+	if err := s.Reset(cfg, src, benchmark); err != nil {
 		return nil, err
 	}
+	return s, nil
+}
+
+// Reset rebinds the simulator to a new configuration and instruction
+// stream, rewinding every piece of run state — ROB ring, rename table,
+// scheduler bitmaps and chunk pools, caches, fetch queue, statistics —
+// while reusing the large allocations from the previous run. A worker
+// can therefore run job after job on one Sim at memclr cost instead of
+// reconstruction cost; results are identical to a freshly constructed
+// Sim by construction (every field is restored to its New state).
+//
+// Reset works on a zero Sim too — NewFromSource is just Reset on a
+// fresh struct. On error the Sim may be partially rewound and must be
+// discarded, not reused.
+func (s *Sim) Reset(cfg config.Config, src trace.Source, benchmark string) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	if cfg.ROBSize > ringCap {
-		return nil, fmt.Errorf("core: ROB size %d exceeds the ring capacity %d", cfg.ROBSize, ringCap)
+		return fmt.Errorf("core: ROB size %d exceeds the ring capacity %d", cfg.ROBSize, ringCap)
 	}
 	nc := cfg.NumClusters()
-	s := &Sim{
-		cfg:           cfg,
-		src:           src,
-		bp:            bpred.NewUnit(bpred.NewPaperCombined()),
-		bal:           steer.NewWeightedBalancer(cfg.IssueWeights()),
-		table:         rename.New[eref](cfg.PhysRegsPerCluster()),
-		iqCount:       make([]int, nc),
-		iqSize:        make([]int, nc),
-		bypass:        make([]int64, nc),
-		iqNeed:        make([]int, nc),
-		regNeed:       make([]int, nc),
-		excessInt:     make([]int, nc),
-		excessFP:      make([]int, nc),
-		lastFetchLine: -1,
-	}
-	s.initSched(nc)
-	for i := range s.ring {
-		s.ring[i].depHead, s.ring[i].depTail = noChunk, noChunk
+
+	s.cfg = cfg
+	s.src = src
+	s.peekBuf = trace.DynInst{}
+	s.havePeek = false
+	s.trDone = false
+
+	// Peripherals that are a handful of small allocations are rebuilt
+	// fresh — cheap, and trivially identical to a new Sim. The bulk
+	// state (rename table, scheduler pools, cache arrays, the ring) is
+	// rewound in place.
+	s.bp = bpred.NewUnit(bpred.NewPaperCombined())
+	s.bal = steer.NewWeightedBalancer(cfg.IssueWeights())
+
+	if s.table != nil && s.table.Clusters() == nc {
+		s.table.Reset(cfg.PhysRegsPerCluster())
+	} else {
+		s.table = rename.New[eref](cfg.PhysRegsPerCluster())
 	}
 	// In-flight writers are bounded by ROB occupancy; stocking the
 	// rename table's count-slice pool to that bound up front keeps
 	// steady-state renaming at zero allocations (the pool otherwise
 	// converges only as rename bursts set new high-water marks).
+	// Prewarm tops up, which also replenishes slices a previous
+	// aborted run left attached to in-flight ring entries.
 	s.table.Prewarm(cfg.ROBSize)
+
+	if len(s.iqCount) != nc {
+		s.iqCount = make([]int, nc)
+		s.iqSize = make([]int, nc)
+		s.bypass = make([]int64, nc)
+		s.iqNeed = make([]int, nc)
+		s.regNeed = make([]int, nc)
+		s.excessInt = make([]int, nc)
+		s.excessFP = make([]int, nc)
+	} else {
+		for c := 0; c < nc; c++ {
+			s.iqCount[c] = 0
+			s.iqNeed[c], s.regNeed[c] = 0, 0
+			s.excessInt[c], s.excessFP[c] = 0, 0
+		}
+	}
+	s.resetSched(nc)
+
+	for i := range s.ring {
+		s.ring[i] = entry{depHead: noChunk, depTail: noChunk}
+	}
+	s.headSeq, s.nextSeq, s.robCount = 0, 0, 0
+	s.refSelect = false
+
+	for i := range s.fetchQ {
+		s.fetchQ[i] = fetched{}
+	}
+	s.fqHead, s.fqLen = 0, 0
+	s.fetchReadyTime = 0
+	s.lastFetchLine = -1
+	s.blockingBranch = eref{}
+	s.fetchBlockedPreDisp = false
+	s.pendingVerifs = s.pendingVerifs[:0]
+	s.activeStores = s.activeStores[:0]
+	s.lastCommitCycle = 0
+
+	s.views = [trace.MaxSrc]opView{}
+	s.steerOps = [trace.MaxSrc]steer.Operand{}
+	s.plans = [trace.MaxSrc]copyPlan{}
+	s.verifs = [trace.MaxSrc]verification{}
+	s.consSrcs = [trace.MaxSrc]source{}
+
+	s.progFn = nil
+	s.progEvery, s.progNext = 0, 0
+
 	switch cfg.Steering {
 	case config.SteerRoundRobin:
 		s.str = steer.NewRoundRobin(cfg, s.bal)
@@ -213,17 +283,28 @@ func NewFromSource(cfg config.Config, src trace.Source, benchmark string) (*Sim,
 	case config.VPTwoDelta:
 		s.vp = vpred.NewTwoDelta(cfg.VPTableEntries)
 	default:
-		return nil, fmt.Errorf("core: unknown VP kind %v", cfg.VP)
+		return fmt.Errorf("core: unknown VP kind %v", cfg.VP)
 	}
 	if cfg.PerfectCaches {
+		s.hier = nil
 		s.caches = cache.Perfect{Lat: 1}
 	} else {
-		s.hier = cache.DefaultHierarchy()
+		if s.hierMem == nil {
+			s.hierMem = cache.DefaultHierarchy()
+		} else {
+			s.hierMem.Reset()
+		}
+		s.hier = s.hierMem
 		s.caches = s.hier
 	}
 	s.net = interconnect.New(cfg.Interconnect())
-	s.res = make([]*cluster.Resources, nc)
-	s.out.PerCluster = make([]stats.ClusterStats, nc)
+	if len(s.res) != nc {
+		s.res = make([]*cluster.Resources, nc)
+	}
+	// PerCluster is freshly allocated every run: Run returns s.out, so
+	// the previous run's Results share the old backing array and must
+	// never be mutated by a reuse.
+	s.out = stats.Results{PerCluster: make([]stats.ClusterStats, nc)}
 	for c := range s.res {
 		spec := cfg.Clusters[c]
 		s.res[c] = cluster.New(spec)
@@ -233,7 +314,7 @@ func NewFromSource(cfg config.Config, src trace.Source, benchmark string) (*Sim,
 	}
 	s.out.Config = cfg.Name
 	s.out.Benchmark = benchmark
-	return s, nil
+	return nil
 }
 
 // peek returns the next dynamic instruction without consuming it. The

@@ -112,16 +112,46 @@ func New[P any](physRegs []int) *Table[P] {
 	return t
 }
 
-// Prewarm stocks the spare pool with n freeAtCommit slices up front.
-// The pool otherwise grows lazily to the high-water mark of in-flight
-// writers, which can take arbitrarily long to converge (a rename burst
-// deep into a run still allocates); callers that know a hard bound —
-// the timing core's ROB size bounds in-flight writers — can pin
-// steady-state renaming to exactly zero allocations.
+// Prewarm tops the spare pool up to n freeAtCommit slices. The pool
+// otherwise grows lazily to the high-water mark of in-flight writers,
+// which can take arbitrarily long to converge (a rename burst deep into
+// a run still allocates); callers that know a hard bound — the timing
+// core's ROB size bounds in-flight writers — can pin steady-state
+// renaming to exactly zero allocations. Top-up semantics (rather than
+// replace) make re-prewarming a reused table nearly free while
+// replenishing slices lost to runs that ended with writers in flight.
 func (t *Table[P]) Prewarm(n int) {
-	t.spare = make([][]int, n, 2*n)
-	for i := range t.spare {
-		t.spare[i] = make([]int, t.clusters)
+	if t.spare == nil {
+		t.spare = make([][]int, 0, 2*n)
+	}
+	for len(t.spare) < n {
+		t.spare = append(t.spare, make([]int, t.clusters))
+	}
+}
+
+// Reset rewinds the table to its freshly constructed state for a new
+// run, reusing the fields/mask/home arrays, the FreeList objects, and
+// the spare pool. physRegs must have the same cluster count the table
+// was built with (a shape change requires a new table); Reset panics
+// otherwise, as New would.
+func (t *Table[P]) Reset(physRegs []int) {
+	if len(physRegs) != t.clusters {
+		panic(fmt.Sprintf("rename: Reset with %d clusters on a %d-cluster table", len(physRegs), t.clusters))
+	}
+	for i := range t.fields {
+		t.fields[i] = Mapping[P]{}
+	}
+	for c := range t.free {
+		*t.free[c] = FreeList{free: physRegs[c], total: physRegs[c]}
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		c := r % t.clusters
+		t.home[r] = c
+		if !t.free[c].Alloc() {
+			panic("rename: register file too small for initial architectural state")
+		}
+		t.fields[r*t.clusters+c] = Mapping[P]{Valid: true} // zero provider = ready
+		t.mask[r] = 1 << uint(c)
 	}
 }
 

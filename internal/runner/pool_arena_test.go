@@ -1,0 +1,150 @@
+package runner
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"clustervp/internal/config"
+	"clustervp/internal/trace"
+)
+
+// TestSimulatePoolArenaDeterminism is the acceptance gate for the cold
+// path rework: results must be byte-identical with the Sim pool and
+// trace arena on or off, at any worker count. The baseline is the fully
+// cold path (fresh Sim, synchronous streaming decode, no sharing);
+// every accelerated configuration must reproduce it exactly.
+func TestSimulatePoolArenaDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation in -short mode")
+	}
+	dir := t.TempDir()
+	cfgs := []config.Config{
+		config.Preset(1),
+		config.Preset(2).WithVP(config.VPStride),
+		config.Preset(4).WithVP(config.VPStride).WithSteering(config.SteerVPB),
+	}
+	var jobs []Job
+	for _, c := range cfgs {
+		jobs = append(jobs,
+			Job{Config: c, Kernel: "cjpeg", Scale: 1},
+			Job{Config: c, Kernel: "rawcaudio", Scale: 1},
+		)
+	}
+	traced, err := MaterializeTraces(dir, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mix replayed and in-process jobs: both flows cross the pool.
+	all := append(append([]Job(nil), traced...), jobs[0], jobs[3])
+
+	// Cold baseline: no pool, no arena, synchronous reader.
+	want := make([]Result, len(all))
+	for i, j := range all {
+		res, err := simulate(j, 0, nil, nil, nil)
+		if err != nil {
+			t.Fatalf("baseline %s: %v", j, err)
+		}
+		want[i] = Result{Job: j, Res: res}
+	}
+
+	check := func(name string, opts Options) {
+		t.Helper()
+		got := New(opts).Run(all)
+		for i := range got {
+			if got[i].Err != nil {
+				t.Fatalf("%s: %s: %v", name, got[i].Job, got[i].Err)
+			}
+			if !reflect.DeepEqual(got[i].Res, want[i].Res) {
+				t.Errorf("%s: %s diverged from the cold baseline:\n got %+v\nwant %+v",
+					name, got[i].Job, got[i].Res, want[i].Res)
+			}
+		}
+	}
+	check("pool+arena workers=1", Options{Workers: 1})
+	check("pool+arena workers=2", Options{Workers: 2})
+	check("pool+arena workers=8", Options{Workers: 8})
+	check("no pool, no arena", Options{Workers: 4, NoSimPool: true, ArenaBytes: -1})
+	check("private 1MiB arena", Options{Workers: 4, ArenaBytes: 1 << 20})
+}
+
+// TestArenaFallbackToStreaming forces the budget path: an engine whose
+// arena cannot hold any trace must stream every replay and still match.
+func TestArenaFallbackToStreaming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation in -short mode")
+	}
+	dir := t.TempDir()
+	base := Job{Config: config.Preset(2), Kernel: "cjpeg", Scale: 1}
+	jobs, err := MaterializeTraces(dir, []Job{base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := simulate(jobs[0], 0, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := New(Options{Workers: 2, ArenaBytes: 1}).Run(jobs)
+	if got[0].Err != nil {
+		t.Fatal(got[0].Err)
+	}
+	if !reflect.DeepEqual(got[0].Res, want) {
+		t.Error("tiny-arena (forced streaming) replay diverged from baseline")
+	}
+}
+
+// TestMaterializeTracesVerifyPoolDigest: a corrupt or truncated
+// leftover trace file must be regenerated, not reused — and the
+// regenerated file must replay cleanly.
+func TestMaterializeTracesVerifyPoolDigest(t *testing.T) {
+	dir := t.TempDir()
+	jobs := []Job{{Config: config.Preset(1), Kernel: "rawcaudio", Scale: 1}}
+	out, err := MaterializeTraces(dir, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := out[0].Trace
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside a record block: header still parses, but a
+	// block CRC no longer matches.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0xFF
+	if err := os.WriteFile(path, bad, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if verifyTrace(path) {
+		t.Fatal("verifyTrace accepted a corrupted file")
+	}
+	if _, err := MaterializeTraces(dir, jobs); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := trace.OpenFile(path)
+	if err != nil {
+		t.Fatalf("regenerated trace does not open: %v", err)
+	}
+	var d trace.DynInst
+	for fr.Next(&d) {
+	}
+	if err := fr.Err(); err != nil {
+		t.Fatalf("regenerated trace does not decode: %v", err)
+	}
+	fr.Close()
+
+	// Truncation must likewise trigger regeneration.
+	if err := os.WriteFile(path, data[:len(data)/3], 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if verifyTrace(path) {
+		t.Fatal("verifyTrace accepted a truncated file")
+	}
+	if _, err := MaterializeTraces(dir, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if !verifyTrace(path) {
+		t.Fatal("regenerated trace fails verification")
+	}
+}

@@ -11,6 +11,7 @@
 package runner
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -194,6 +195,20 @@ type Options struct {
 	// worker. Put failures are counted (CachePutErrors) but never fail
 	// the job — a full disk degrades the cache, not the grid.
 	Cache ResultCache
+	// ArenaBytes selects the decoded-trace arena for this engine's
+	// default simulator: 0 shares the process-wide arena
+	// (DefaultArenaBudget), a negative value disables arena decoding
+	// (every trace job streams via the pipelined reader), and a positive
+	// value gives the engine a private arena with that byte budget.
+	// Ignored when Run is set.
+	ArenaBytes int64
+	// NoSimPool disables simulator reuse for this engine's default
+	// simulator: every job constructs a fresh Sim instead of drawing
+	// from the process-wide pool. Results are identical either way —
+	// the pool is purely an allocation optimization — so this exists
+	// for A/B measurement and as an escape hatch. Ignored when Run is
+	// set.
+	NoSimPool bool
 }
 
 // entry is one memo slot; ready closes once res/err are set, so
@@ -244,7 +259,17 @@ func New(opts Options) *Engine {
 	}
 	run := opts.Run
 	if run == nil {
-		run = Simulate
+		arena := defaultArena
+		if opts.ArenaBytes < 0 {
+			arena = nil
+		} else if opts.ArenaBytes > 0 {
+			arena = trace.NewArena(opts.ArenaBytes)
+		}
+		pool := core.DefaultPool
+		if opts.NoSimPool {
+			pool = nil
+		}
+		run = func(j Job) (stats.Results, error) { return simulate(j, 0, nil, arena, pool) }
 	}
 	return &Engine{
 		workers:  w,
@@ -374,53 +399,121 @@ func (e *Engine) Snapshot() []Result {
 	return out
 }
 
+// DefaultArenaBudget bounds the process-wide decoded-trace arena shared
+// by the package-level Simulate path (and thus the clusterd service):
+// distinct trace digests are decoded into the columnar in-memory form
+// until this many bytes are resident; everything past the budget stays
+// on the pipelined streaming path.
+const DefaultArenaBudget int64 = 256 << 20
+
+var defaultArena = trace.NewArena(DefaultArenaBudget)
+
+// openTraceSource resolves the replay Source for a .cvt file. In order
+// of preference: a Cursor over the arena-resident decoded form (decoded
+// once per distinct content digest, shared read-only by every job), a
+// fresh decode admitted to the arena, or — when the arena is nil, full,
+// or the trace does not fit — a pipelined streaming Reader that
+// overlaps decode with simulation. All three yield byte-identical
+// record streams. It returns the source, the trace's header name, and a
+// close func (nil when nothing needs closing).
+func openTraceSource(path string, arena *trace.Arena) (trace.Source, string, func() error, error) {
+	if arena != nil {
+		key := traceDigest(path)
+		if mt := arena.Get(key); mt != nil {
+			return mt.NewCursor(), mt.Name(), nil, nil
+		}
+		if budget := arena.Remaining(); budget > 0 {
+			fr, err := trace.OpenFile(path)
+			if err != nil {
+				return nil, "", nil, err
+			}
+			mt, derr := trace.ReadMemCapped(fr.Reader, budget)
+			cerr := fr.Close()
+			if derr == nil && cerr == nil {
+				// Concurrent decodes of one digest can race here; the
+				// loser's work is wasted but the shared survivor is
+				// identical, so results never depend on who won.
+				arena.Add(key, mt)
+				return mt.NewCursor(), mt.Name(), nil, nil
+			}
+			if derr != nil && !errors.Is(derr, trace.ErrNoMemForm) {
+				return nil, "", nil, derr
+			}
+			// Over budget: stream instead.
+		}
+	}
+	fr, err := trace.OpenFile(path)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	p := trace.NewPipelined(fr.Reader)
+	closeFn := func() error {
+		p.Close()
+		return fr.Close()
+	}
+	return p, fr.Name(), closeFn, nil
+}
+
 // newSim builds the timing simulator for a job — replaying a .cvt
 // trace file when one is named, otherwise synthesizing the kernel
 // in-process — and returns the cleanup to run after simulation (nil
-// when nothing needs closing).
-func newSim(j Job) (*core.Sim, func() error, error) {
+// when nothing needs closing). A non-nil pool supplies a recycled Sim
+// (returned to the pool by the cleanup); a non-nil arena supplies
+// decoded trace sharing.
+func newSim(j Job, arena *trace.Arena, pool *core.Pool) (*core.Sim, func() error, error) {
+	var (
+		src     trace.Source
+		name    string
+		closeFn func() error
+	)
 	if j.Trace != "" {
-		fr, err := trace.OpenFile(j.Trace)
+		s, hdrName, cfn, err := openTraceSource(j.Trace, arena)
 		if err != nil {
 			return nil, nil, err
 		}
-		name := j.Kernel
+		src, closeFn = s, cfn
+		name = j.Kernel
 		if name == "" {
-			name = fr.Name()
+			name = hdrName
 		}
-		sim, err := core.NewFromSource(j.Config, fr, name)
+	} else {
+		prog, err := workload.Build(j.Kernel, j.EffectiveScale(), j.Seed)
 		if err != nil {
-			fr.Close()
 			return nil, nil, err
 		}
-		return sim, fr.Close, nil
+		src = trace.NewExecutor(prog)
+		name = prog.Name
 	}
-	prog, err := workload.Build(j.Kernel, j.EffectiveScale(), j.Seed)
+	var sim *core.Sim
+	var err error
+	if pool != nil {
+		sim, err = pool.Get(j.Config, src, name)
+	} else {
+		sim, err = core.NewFromSource(j.Config, src, name)
+	}
 	if err != nil {
+		if closeFn != nil {
+			closeFn()
+		}
 		return nil, nil, err
 	}
-	sim, err := core.New(j.Config, prog)
-	if err != nil {
-		return nil, nil, err
+	cleanup := func() error {
+		var cerr error
+		if closeFn != nil {
+			cerr = closeFn()
+		}
+		if pool != nil {
+			pool.Put(sim)
+		}
+		return cerr
 	}
-	return sim, nil, nil
+	return sim, cleanup, nil
 }
 
-// Simulate is the default Run function: stream the job's dynamic
-// instructions — from a .cvt trace file when one is named, otherwise
-// from an in-process functional execution of the kernel — through the
-// timing simulator (the same path as clustervp.Run).
-func Simulate(j Job) (stats.Results, error) {
-	return SimulateWithProgress(j, 0, nil)
-}
-
-// SimulateWithProgress is Simulate with a periodic progress callback:
-// fn fires from the simulation goroutine every `every` cycles with the
-// current cycle and committed-instruction counts (the clusterd service
-// streams these as job events). A non-positive interval or nil fn runs
-// without progress.
-func SimulateWithProgress(j Job, every int64, fn func(core.Progress)) (stats.Results, error) {
-	sim, cleanup, err := newSim(j)
+// simulate runs one job through the timing simulator with the given
+// trace arena and Sim pool (either may be nil to opt out).
+func simulate(j Job, every int64, fn func(core.Progress), arena *trace.Arena, pool *core.Pool) (stats.Results, error) {
+	sim, cleanup, err := newSim(j, arena, pool)
 	if err != nil {
 		return stats.Results{}, err
 	}
@@ -431,4 +524,24 @@ func SimulateWithProgress(j Job, every int64, fn func(core.Progress)) (stats.Res
 		sim.SetProgress(every, fn)
 	}
 	return sim.Run()
+}
+
+// Simulate is the default Run function: stream the job's dynamic
+// instructions — from a .cvt trace file when one is named, otherwise
+// from an in-process functional execution of the kernel — through the
+// timing simulator (the same path as clustervp.Run). It uses the
+// process-wide Sim pool and decoded-trace arena; both are allocation
+// optimizations only, with results byte-identical to cold construction
+// and streaming decode (TestSimulatePoolArenaDeterminism).
+func Simulate(j Job) (stats.Results, error) {
+	return simulate(j, 0, nil, defaultArena, core.DefaultPool)
+}
+
+// SimulateWithProgress is Simulate with a periodic progress callback:
+// fn fires from the simulation goroutine every `every` cycles with the
+// current cycle and committed-instruction counts (the clusterd service
+// streams these as job events). A non-positive interval or nil fn runs
+// without progress.
+func SimulateWithProgress(j Job, every int64, fn func(core.Progress)) (stats.Results, error) {
+	return simulate(j, every, fn, defaultArena, core.DefaultPool)
 }

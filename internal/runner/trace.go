@@ -71,12 +71,56 @@ func TracePath(dir, kernel string, scale int, seed uint64) string {
 	return filepath.Join(dir, name+".cvt")
 }
 
+// verifyCache memoizes successful trace verifications keyed by path,
+// revalidated by (size, mtime) like the digest cache, so repeated grid
+// runs against a warm trace directory pay one full decode per file
+// per change, not per run.
+var verifyCache sync.Map // path -> verifyEntry
+
+type verifyEntry struct {
+	size  int64
+	mtime int64
+}
+
+// verifyTrace reports whether the .cvt file at path decodes cleanly end
+// to end — header, every block CRC, and the record-count trailer — i.e.
+// whether its content digest is intact. Any failure (missing file, bad
+// magic, corruption, truncation) reports false; the caller regenerates.
+func verifyTrace(path string) bool {
+	st, err := os.Stat(path)
+	if err != nil {
+		return false
+	}
+	if e, ok := verifyCache.Load(path); ok {
+		ent := e.(verifyEntry)
+		if ent.size == st.Size() && ent.mtime == st.ModTime().UnixNano() {
+			return true
+		}
+	}
+	fr, err := trace.OpenFile(path)
+	if err != nil {
+		return false
+	}
+	defer fr.Close()
+	var d trace.DynInst
+	for fr.Next(&d) {
+	}
+	if fr.Err() != nil {
+		return false
+	}
+	verifyCache.Store(path, verifyEntry{size: st.Size(), mtime: st.ModTime().UnixNano()})
+	return true
+}
+
 // MaterializeTraces writes each distinct (kernel, scale, seed) workload
 // among the jobs to a .cvt file under dir — once, however many
 // configurations share it — and returns a copy of the jobs rewritten
 // to replay those files. Jobs that already name a trace pass through
-// untouched. Existing files are reused, so successive grid runs against
-// the same directory skip generation entirely.
+// untouched. An existing file is reused only after verifying it decodes
+// cleanly (CRC-checked end to end); a corrupt or truncated leftover is
+// regenerated in place rather than poisoning every job that replays it.
+// Successive grid runs against an intact directory skip generation
+// entirely.
 func MaterializeTraces(dir string, jobs []Job) ([]Job, error) {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, err
@@ -90,7 +134,7 @@ func MaterializeTraces(dir string, jobs []Job) ([]Job, error) {
 		}
 		path := TracePath(dir, j.Kernel, j.EffectiveScale(), j.Seed)
 		if !written[path] {
-			if _, err := os.Stat(path); err != nil {
+			if !verifyTrace(path) {
 				prog, err := workload.Build(j.Kernel, j.EffectiveScale(), j.Seed)
 				if err != nil {
 					return nil, fmt.Errorf("runner: materialize %s: %w", path, err)

@@ -1,0 +1,155 @@
+package trace
+
+// In-memory columnar trace form. A grid replays the same .cvt stream
+// under dozens of configurations; decoding it once into a compact
+// struct-of-arrays representation and replaying through a per-job
+// Cursor turns every job after the first from CRC + varint-delta decode
+// into four array reads per instruction — with zero per-Next
+// allocations and no shared mutable state, so any number of jobs can
+// replay one MemTrace concurrently.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"clustervp/internal/isa"
+)
+
+// ErrNoMemForm means a trace cannot be held in the in-memory columnar
+// form — its decoded size exceeds the caller's byte budget or a field
+// overflows the compact column width. Callers fall back to the
+// streaming Reader; the sentinel is never a data-integrity error.
+var ErrNoMemForm = errors.New("trace: no in-memory form")
+
+// instApproxBytes is the per-instruction accounting charge for the
+// static code column (a deliberate overestimate of unsafe.Sizeof).
+const instApproxBytes = 48
+
+// MemTrace is a fully decoded trace in struct-of-arrays layout: PCs and
+// next-PCs as int32 columns, taken bits as a bitset, and all operand /
+// destination / address values interleaved in record order in one
+// uint64 column (each record contributes exactly NumSrc + HasDest +
+// IsLoad|IsStore values, so a cursor needs only a running index). The
+// struct is immutable after ReadMem and safe for concurrent Cursors.
+type MemTrace struct {
+	name  string
+	code  []isa.Inst
+	pc    []int32
+	next  []int32
+	taken []uint64 // bitset, one bit per record
+	vals  []uint64 // interleaved srcs, dst, addr per record
+}
+
+// Name returns the workload name from the trace header.
+func (t *MemTrace) Name() string { return t.name }
+
+// Len returns the number of dynamic records.
+func (t *MemTrace) Len() int { return len(t.pc) }
+
+// SizeBytes returns the approximate resident size used for arena
+// accounting (column lengths, not capacities; the code column charged
+// at a fixed overestimate per instruction).
+func (t *MemTrace) SizeBytes() int64 {
+	return int64(len(t.name)) +
+		int64(len(t.code))*instApproxBytes +
+		4*int64(len(t.pc)) +
+		4*int64(len(t.next)) +
+		8*int64(len(t.taken)) +
+		8*int64(len(t.vals))
+}
+
+// NewCursor returns a Source replaying the trace from the beginning.
+// Cursors are independent; any number may replay one MemTrace at once.
+func (t *MemTrace) NewCursor() *Cursor { return &Cursor{t: t} }
+
+// Cursor streams a MemTrace as a Source with zero allocations per Next.
+type Cursor struct {
+	t  *MemTrace
+	i  int
+	vi int
+}
+
+// Next implements Source: it reconstructs record i from the columns.
+func (c *Cursor) Next(d *DynInst) bool {
+	t := c.t
+	i := c.i
+	if i >= len(t.pc) {
+		return false
+	}
+	pc := int(t.pc[i])
+	in := t.code[pc]
+	info := isa.InfoFor(in.Op)
+	*d = DynInst{Seq: uint64(i), PC: pc, Inst: in, NextPC: int(t.next[i])}
+	d.Taken = t.taken[i>>6]&(1<<uint(i&63)) != 0
+	vi := c.vi
+	for j := 0; j < info.NumSrc; j++ {
+		d.SrcVal[j] = t.vals[vi]
+		vi++
+	}
+	if info.HasDest {
+		d.DstVal = t.vals[vi]
+		vi++
+	}
+	if info.IsLoad || info.IsStore {
+		d.Addr = t.vals[vi]
+		vi++
+	}
+	c.i = i + 1
+	c.vi = vi
+	return true
+}
+
+// Err implements Source. Decoding was fully validated (CRCs, trailer,
+// record flags) when the MemTrace was built, so replay cannot fail.
+func (c *Cursor) Err() error { return nil }
+
+var _ Source = (*Cursor)(nil)
+
+// ReadMem drains r into a MemTrace with no size bound. The reader must
+// be freshly positioned at the first record; it is fully consumed and
+// its end-of-trace marker verified.
+func ReadMem(r *Reader) (*MemTrace, error) { return ReadMemCapped(r, 0) }
+
+// ReadMemCapped is ReadMem with a byte budget: when the decoded form
+// would exceed maxBytes (>0), it stops and returns ErrNoMemForm so the
+// caller can fall back to streaming. A non-positive maxBytes means
+// unbounded.
+func ReadMemCapped(r *Reader, maxBytes int64) (*MemTrace, error) {
+	t := &MemTrace{name: r.Name(), code: r.Code()}
+	fixed := int64(len(t.name)) + int64(len(t.code))*instApproxBytes
+	var d DynInst
+	for r.Next(&d) {
+		if d.NextPC < 0 || d.NextPC > math.MaxInt32 {
+			return nil, fmt.Errorf("%w: record %d: next pc %d overflows the column", ErrNoMemForm, d.Seq, d.NextPC)
+		}
+		i := len(t.pc)
+		t.pc = append(t.pc, int32(d.PC))
+		t.next = append(t.next, int32(d.NextPC))
+		if i&63 == 0 {
+			t.taken = append(t.taken, 0)
+		}
+		if d.Taken {
+			t.taken[i>>6] |= 1 << uint(i&63)
+		}
+		info := d.Info()
+		for j := 0; j < info.NumSrc; j++ {
+			t.vals = append(t.vals, d.SrcVal[j])
+		}
+		if info.HasDest {
+			t.vals = append(t.vals, d.DstVal)
+		}
+		if info.IsLoad || info.IsStore {
+			t.vals = append(t.vals, d.Addr)
+		}
+		if maxBytes > 0 {
+			if sz := fixed + 8*int64(len(t.pc)) + 8*int64(len(t.taken)) + 8*int64(len(t.vals)); sz > maxBytes {
+				return nil, fmt.Errorf("%w: decoded size exceeds budget %d", ErrNoMemForm, maxBytes)
+			}
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

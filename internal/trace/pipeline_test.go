@@ -1,0 +1,100 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"clustervp/internal/trace"
+)
+
+// TestPipelinedMatchesReader requires the decode-ahead path to yield
+// exactly the synchronous Reader's records, across batch-boundary
+// trace lengths (kernel traces are far longer than one batch).
+func TestPipelinedMatchesReader(t *testing.T) {
+	for _, kernel := range []string{"cjpeg", "gsmdec"} {
+		data, want := encodeKernel(t, kernel, 1)
+		p := trace.NewPipelined(newReader(t, data))
+		got := collect(t, p)
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != kernel {
+			t.Errorf("%s: Name() = %q", kernel, p.Name())
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: pipelined replay differs from the streaming Reader", kernel)
+		}
+	}
+}
+
+// TestPipelinedPropagatesCorruption: a decode error surfaces through
+// Err after Next reports end, exactly like the synchronous Reader.
+func TestPipelinedPropagatesCorruption(t *testing.T) {
+	data, _ := encodeKernel(t, "cjpeg", 1)
+	bad := bytes.Clone(data)
+	bad[len(bad)/2] ^= 0xFF // inside a record block: CRC mismatch
+	p := trace.NewPipelined(newReader(t, bad))
+	defer p.Close()
+	var d trace.DynInst
+	for p.Next(&d) {
+	}
+	if err := p.Err(); !errors.Is(err, trace.ErrCorrupt) && !errors.Is(err, trace.ErrTruncated) {
+		t.Fatalf("corrupted stream: Err() = %v, want ErrCorrupt or ErrTruncated", err)
+	}
+}
+
+// TestPipelinedEarlyClose stops the decoder mid-stream (and twice);
+// Close must not deadlock whether the decoder is blocked on a full
+// output ring or waiting for a free batch.
+func TestPipelinedEarlyClose(t *testing.T) {
+	data, _ := encodeKernel(t, "cjpeg", 1)
+	for _, consume := range []int{0, 1, 700} {
+		p := trace.NewPipelined(newReader(t, data))
+		var d trace.DynInst
+		for i := 0; i < consume && p.Next(&d); i++ {
+		}
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPipelinedConcurrentStreams runs several independent pipelines at
+// once (the grid's worker shape); under -race this pins the handoff
+// discipline between decoder and consumer.
+func TestPipelinedConcurrentStreams(t *testing.T) {
+	data, want := encodeKernel(t, "gsmdec", 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := trace.NewReader(bytes.NewReader(data))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			p := trace.NewPipelined(r)
+			defer p.Close()
+			var d trace.DynInst
+			var n int
+			for p.Next(&d) {
+				n++
+			}
+			if err := p.Err(); err != nil {
+				t.Error(err)
+				return
+			}
+			if n != len(want) {
+				t.Errorf("pipelined stream yielded %d records, want %d", n, len(want))
+			}
+		}()
+	}
+	wg.Wait()
+}
