@@ -35,8 +35,17 @@
 //
 //	POST /v1/jobs    POST /v1/grids    GET /v1/jobs/{id}
 //	GET  /v1/jobs/{id}/events          POST /v1/traces
+//	GET  /v1/jobs/{id}/trace           (?format=chrome|spans — span timeline)
+//	GET  /v1/tracez                    (recent finished spans, server-wide)
 //	GET  /v1/healthz                   GET /v1/statsz
 //	GET  /metrics    (Prometheus text format)
+//
+// Every job carries a W3C trace id (continued from an inbound
+// traceparent header, or freshly rooted) from HTTP admission through
+// queue wait, dispatch and the simulation phases; /v1/jobs/{id}/trace
+// renders the timeline, format=chrome ready for chrome://tracing or
+// Perfetto. A coordinator serves the same two endpoints, merging its
+// dispatch spans with every replica's spans for the job's trace.
 //
 // The first line on stdout is "clusterd listening on http://<addr>",
 // with the actual port — so -addr 127.0.0.1:0 picks a free port and

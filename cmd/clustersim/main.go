@@ -16,6 +16,8 @@
 //	clustersim -trace-in cjpeg.cvt -clusters 4 -vp stride     # replay a .cvt
 //	clustersim -kernel cjpeg -trace-out cjpeg.cvt             # record while simulating
 //	clustersim -kernel cjpeg -remote http://127.0.0.1:8090    # run on a clusterd server
+//	clustersim -kernel cjpeg -remote http://127.0.0.1:8090 \
+//	           -trace-out prof.json                           # + save the server-side timeline
 //
 // -remote submits the identical run to a clusterd instance (uploading
 // the -trace-in file first when one is named) and prints exactly what
@@ -24,6 +26,13 @@
 // rendered by the same code. Against a multi-tenant server, pass the
 // tenant's API key with -api-key (or the CLUSTERSIM_API_KEY environment
 // variable, which keeps the key out of shell history).
+//
+// -trace-out is mode-sensitive: locally it records the instruction
+// stream as a .cvt container; with -remote it instead downloads the
+// job's server-side span timeline as Chrome trace-event JSON
+// (GET /v1/jobs/{id}/trace?format=chrome), ready to drop into
+// chrome://tracing or https://ui.perfetto.dev. The timeline is saved
+// even when the job fails — that is when you want it most.
 //
 // Unknown enum values (-vp, -steer, -topology) and unparsable -clusters
 // machine descriptions exit with status 2 and one shared message
@@ -106,7 +115,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 0, "re-seed the kernel's input data (0 = canonical)")
 	maxCycles := fs.Int64("maxcycles", 0, "abort the simulation after this many cycles (0 = default budget)")
 	traceIn := fs.String("trace-in", "", "replay this .cvt trace instead of synthesizing -kernel")
-	traceOut := fs.String("trace-out", "", "record the simulated instruction stream into this .cvt file")
+	traceOut := fs.String("trace-out", "", "record the instruction stream into this .cvt file; with -remote, save the job's Chrome trace timeline JSON here instead")
 	asJSON := fs.Bool("json", false, "emit the result as a single JSON object instead of text")
 	remote := fs.String("remote", "", "submit the run to a clusterd server at this base URL instead of simulating locally")
 	apiKey := fs.String("api-key", "", "API key for a multi-tenant clusterd (requires -remote; also read from CLUSTERSIM_API_KEY)")
@@ -158,11 +167,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return failEnum("-topology", err)
 	}
-	if *traceIn != "" && *traceOut != "" {
+	// Locally -trace-out records the instruction stream, which a replay
+	// (-trace-in) already has; remotely it saves the server's timeline,
+	// which a replayed job has too, so the combination is fine there.
+	if *remote == "" && *traceIn != "" && *traceOut != "" {
 		return fail("-trace-in and -trace-out are mutually exclusive")
-	}
-	if *remote != "" && *traceOut != "" {
-		return fail("-trace-out records locally and cannot be combined with -remote")
 	}
 	if *apiKey != "" && *remote == "" {
 		return fail("-api-key only makes sense with -remote")
@@ -203,7 +212,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if key == "" {
 			key = os.Getenv("CLUSTERSIM_API_KEY")
 		}
-		r, err = runRemote(*remote, key, spec, *kernel, *scale, *seed, *traceIn)
+		r, err = runRemote(*remote, key, spec, *kernel, *scale, *seed, *traceIn, *traceOut)
 	} else {
 		r, err = simulate(cfg, *kernel, *scale, *seed, *traceIn, *traceOut)
 	}
@@ -254,8 +263,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 // runRemote submits the run to a clusterd server and waits for the
 // result. A -trace-in file is uploaded to the server's
 // content-addressed store first and referenced by digest, so the
-// server replays exactly the bytes the local run would.
-func runRemote(base, apiKey string, spec config.MachineSpec, kernel string, scale int, seed uint64, traceIn string) (clustervp.Results, error) {
+// server replays exactly the bytes the local run would. A non-empty
+// traceOut downloads the job's server-side span timeline as Chrome
+// trace-event JSON afterwards — even for a failed job, whose timeline
+// shows where it died.
+func runRemote(base, apiKey string, spec config.MachineSpec, kernel string, scale int, seed uint64, traceIn, traceOut string) (clustervp.Results, error) {
 	ctx := context.Background()
 	var opts []client.Option
 	if apiKey != "" {
@@ -275,10 +287,24 @@ func runRemote(base, apiKey string, spec config.MachineSpec, kernel string, scal
 	if err != nil {
 		return clustervp.Results{}, err
 	}
+	if traceOut != "" && st.ID != "" {
+		if terr := saveRemoteTimeline(ctx, c, st.ID, traceOut); terr != nil {
+			return clustervp.Results{}, fmt.Errorf("saving timeline %s: %w", traceOut, terr)
+		}
+	}
 	if st.State != service.StateDone || st.Results == nil {
 		return clustervp.Results{}, fmt.Errorf("remote job %s %s: %s", st.ID, st.State, st.Error)
 	}
 	return *st.Results, nil
+}
+
+// saveRemoteTimeline writes one job's Chrome trace JSON to out.
+func saveRemoteTimeline(ctx context.Context, c *client.Client, jobID, out string) error {
+	raw, err := c.JobTraceChrome(ctx, jobID)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, raw, 0o644)
 }
 
 // simulate routes the three instruction-stream modes: replay a .cvt

@@ -275,10 +275,48 @@ func TestRemoteFailuresExitOne(t *testing.T) {
 	if code != 1 || !strings.Contains(stderr, "error:") {
 		t.Errorf("unreachable server: code=%d stderr=%q, want 1", code, stderr)
 	}
-	// -trace-out is a local recording; combining it with -remote is a
-	// command-line error, not a runtime one.
-	if code, _, _ := cli(t, "-kernel", "cjpeg", "-trace-out", "x.cvt", "-remote", base); code != 2 {
-		t.Errorf("-trace-out with -remote exited %d, want 2", code)
+}
+
+// TestRemoteTraceOutSavesTimeline: with -remote, -trace-out downloads
+// the job's server-side span timeline as Chrome trace-event JSON. The
+// file must parse and contain at least one complete ("ph":"X") event —
+// the shape chrome://tracing and Perfetto load.
+func TestRemoteTraceOutSavesTimeline(t *testing.T) {
+	base := startClusterd(t, service.Options{})
+	out := filepath.Join(t.TempDir(), "prof.json")
+	code, _, stderr := cli(t, "-kernel", "rawcaudio", "-clusters", "2", "-remote", base, "-trace-out", out)
+	if code != 0 {
+		t.Fatalf("remote run exited %d: %s", code, stderr)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("timeline file: %v", err)
+	}
+	var tl struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tl); err != nil {
+		t.Fatalf("timeline is not Chrome trace JSON: %v", err)
+	}
+	complete := 0
+	names := make(map[string]bool)
+	for _, ev := range tl.TraceEvents {
+		if ev.Ph == "X" {
+			complete++
+			names[ev.Name] = true
+		}
+	}
+	if complete == 0 {
+		t.Fatalf("timeline has no complete events: %s", raw)
+	}
+	for _, want := range []string{"queue.wait", "sim.run"} {
+		if !names[want] {
+			t.Errorf("timeline is missing a %q span; got %v", want, names)
+		}
 	}
 }
 

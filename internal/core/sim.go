@@ -113,6 +113,16 @@ type Sim struct {
 	progEvery int64
 	progNext  int64
 
+	// Coarse phase attribution for tracing: every cycle is exactly one
+	// of warmup (nothing committed yet), drain (trace exhausted,
+	// pipeline emptying) or steady (everything between). Plain uint64
+	// increments in step keep the hot loop allocation-free; readers use
+	// PhaseCycles after Run. Deliberately NOT part of stats.Results —
+	// golden regression outputs stay byte-identical.
+	phaseWarmup uint64
+	phaseSteady uint64
+	phaseDrain  uint64
+
 	out stats.Results
 }
 
@@ -258,6 +268,7 @@ func (s *Sim) Reset(cfg config.Config, src trace.Source, benchmark string) error
 
 	s.progFn = nil
 	s.progEvery, s.progNext = 0, 0
+	s.phaseWarmup, s.phaseSteady, s.phaseDrain = 0, 0, 0
 
 	switch cfg.Steering {
 	case config.SteerRoundRobin:
@@ -349,6 +360,14 @@ func (s *Sim) step(cycle int64) {
 	}
 	s.dispatch(cycle)
 	s.fetch(cycle)
+	switch {
+	case s.trDone:
+		s.phaseDrain++
+	case s.out.Instructions == 0:
+		s.phaseWarmup++
+	default:
+		s.phaseSteady++
+	}
 	if s.progFn != nil && cycle >= s.progNext {
 		s.progNext = cycle + s.progEvery
 		s.progFn(Progress{Cycle: cycle, Instructions: s.out.Instructions})
@@ -401,6 +420,16 @@ func (s *Sim) Run() (stats.Results, error) {
 		s.out.L2Misses = s.hier.L2.Misses
 	}
 	return s.out, nil
+}
+
+// PhaseCycles reports how the simulated cycles split across the three
+// coarse phases: warmup (before the first commit), steady (committing
+// with trace input remaining) and drain (trace exhausted, pipeline
+// emptying). The three always sum to Results.Cycles after Run. The
+// split feeds trace spans and is intentionally kept out of
+// stats.Results so golden outputs never change.
+func (s *Sim) PhaseCycles() (warmup, steady, drain uint64) {
+	return s.phaseWarmup, s.phaseSteady, s.phaseDrain
 }
 
 func (s *Sim) describeHead(now int64) string {

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (the "JSON Array Format" chrome://tracing and Perfetto load).
+// Span durations use "ph":"X" complete events; process/thread names
+// use "ph":"M" metadata events.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`            // microseconds, trace-relative
+	Dur   float64        `json:"dur,omitempty"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level object form of the format, which
+// tolerates trailing metadata better than the bare-array form.
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace renders spans as Chrome trace-event JSON, loadable
+// in chrome://tracing or https://ui.perfetto.dev. Each distinct span
+// Service becomes a named process lane (so a merged coordinator +
+// replica trace reads as two processes), and each root span gets its
+// own thread lane with its descendants, so concurrent jobs in one
+// trace stack instead of overlapping.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	events := buildChromeEvents(spans)
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{DisplayTimeUnit: "ms", TraceEvents: events})
+}
+
+func buildChromeEvents(spans []Span) []chromeEvent {
+	if len(spans) == 0 {
+		return []chromeEvent{}
+	}
+	// Stable ordering: by start time, then name, so export is
+	// deterministic for a given span set.
+	sorted := append([]Span(nil), spans...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if !sorted[i].Start.Equal(sorted[j].Start) {
+			return sorted[i].Start.Before(sorted[j].Start)
+		}
+		return sorted[i].Name < sorted[j].Name
+	})
+
+	// Timestamps are trace-relative: normalize to the earliest start so
+	// the viewer opens at t=0 instead of years into the epoch.
+	epoch := sorted[0].Start
+
+	// pid lane per service, in first-seen order.
+	pids := map[string]int{}
+	var events []chromeEvent
+	pidOf := func(service string) int {
+		if service == "" {
+			service = "unknown"
+		}
+		if pid, ok := pids[service]; ok {
+			return pid
+		}
+		pid := len(pids) + 1
+		pids[service] = pid
+		events = append(events, chromeEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   pid,
+			Args:  map[string]any{"name": service},
+		})
+		return pid
+	}
+
+	// tid lane per root: walk parent links within the span set; spans
+	// whose parent is not retained (remote parent, ring wrap) root
+	// their own lane.
+	byID := make(map[string]int, len(sorted)) // span id -> index
+	for i, sp := range sorted {
+		byID[sp.SpanID] = i
+	}
+	lane := make([]int, len(sorted))
+	nextLane := 1
+	var laneOf func(i int) int
+	laneOf = func(i int) int {
+		if lane[i] != 0 {
+			return lane[i]
+		}
+		if p, ok := byID[sorted[i].ParentID]; ok && p != i {
+			lane[i] = laneOf(p)
+		} else {
+			lane[i] = nextLane
+			nextLane++
+		}
+		return lane[i]
+	}
+
+	for i, sp := range sorted {
+		args := make(map[string]any, len(sp.Attrs)+2)
+		for k, v := range sp.Attrs {
+			args[k] = v
+		}
+		args["trace_id"] = sp.TraceID
+		args["span_id"] = sp.SpanID
+		if sp.ParentID != "" {
+			args["parent_id"] = sp.ParentID
+		}
+		dur := float64(sp.End.Sub(sp.Start)) / float64(time.Microsecond)
+		if dur < 0 {
+			dur = 0
+		}
+		events = append(events, chromeEvent{
+			Name:  sp.Name,
+			Phase: "X",
+			TS:    float64(sp.Start.Sub(epoch)) / float64(time.Microsecond),
+			Dur:   dur,
+			PID:   pidOf(sp.Service),
+			TID:   laneOf(i),
+			Args:  args,
+		})
+	}
+	return events
+}
+
+// WriteSpans renders spans as a plain JSON span dump:
+// {"spans":[...]} oldest-first — the machine-checkable counterpart of
+// the Chrome export.
+func WriteSpans(w io.Writer, spans []Span) error {
+	if spans == nil {
+		spans = []Span{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		Spans []Span `json:"spans"`
+	}{spans})
+}
+
+// FormatAttr formats non-string attribute values at instrumentation
+// sites (counters, durations) without each call site importing
+// strconv/fmt logic.
+func FormatAttr(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case time.Duration:
+		return x.String()
+	default:
+		return fmt.Sprint(x)
+	}
+}

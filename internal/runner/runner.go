@@ -22,6 +22,7 @@ import (
 	"clustervp/internal/config"
 	"clustervp/internal/core"
 	"clustervp/internal/interconnect"
+	"clustervp/internal/obs"
 	"clustervp/internal/stats"
 	"clustervp/internal/trace"
 	"clustervp/internal/workload"
@@ -414,18 +415,20 @@ var defaultArena = trace.NewArena(DefaultArenaBudget)
 // fresh decode admitted to the arena, or — when the arena is nil, full,
 // or the trace does not fit — a pipelined streaming Reader that
 // overlaps decode with simulation. All three yield byte-identical
-// record streams. It returns the source, the trace's header name, and a
-// close func (nil when nothing needs closing).
-func openTraceSource(path string, arena *trace.Arena) (trace.Source, string, func() error, error) {
+// record streams. It returns the source, the trace's header name, the
+// materialization mode ("arena", "decode" or "stream" — span
+// attribute material for the tracing layer), and a close func (nil
+// when nothing needs closing).
+func openTraceSource(path string, arena *trace.Arena) (trace.Source, string, string, func() error, error) {
 	if arena != nil {
 		key := traceDigest(path)
 		if mt := arena.Get(key); mt != nil {
-			return mt.NewCursor(), mt.Name(), nil, nil
+			return mt.NewCursor(), mt.Name(), SourceArena, nil, nil
 		}
 		if budget := arena.Remaining(); budget > 0 {
 			fr, err := trace.OpenFile(path)
 			if err != nil {
-				return nil, "", nil, err
+				return nil, "", "", nil, err
 			}
 			mt, derr := trace.ReadMemCapped(fr.Reader, budget)
 			cerr := fr.Close()
@@ -434,44 +437,59 @@ func openTraceSource(path string, arena *trace.Arena) (trace.Source, string, fun
 				// loser's work is wasted but the shared survivor is
 				// identical, so results never depend on who won.
 				arena.Add(key, mt)
-				return mt.NewCursor(), mt.Name(), nil, nil
+				return mt.NewCursor(), mt.Name(), SourceDecode, nil, nil
 			}
 			if derr != nil && !errors.Is(derr, trace.ErrNoMemForm) {
-				return nil, "", nil, derr
+				return nil, "", "", nil, derr
 			}
 			// Over budget: stream instead.
 		}
 	}
 	fr, err := trace.OpenFile(path)
 	if err != nil {
-		return nil, "", nil, err
+		return nil, "", "", nil, err
 	}
 	p := trace.NewPipelined(fr.Reader)
 	closeFn := func() error {
 		p.Close()
 		return fr.Close()
 	}
-	return p, fr.Name(), closeFn, nil
+	return p, fr.Name(), SourceStream, closeFn, nil
 }
+
+// Trace-materialization modes reported by newSim and recorded as the
+// sim.materialize span's "source" attribute.
+const (
+	// SourceArena: replayed from the already-decoded arena-resident form.
+	SourceArena = "arena"
+	// SourceDecode: decoded from the .cvt file and admitted to the arena.
+	SourceDecode = "decode"
+	// SourceStream: replayed via the pipelined streaming reader.
+	SourceStream = "stream"
+	// SourceSynth: synthesized in-process from the kernel builder.
+	SourceSynth = "synth"
+)
 
 // newSim builds the timing simulator for a job — replaying a .cvt
 // trace file when one is named, otherwise synthesizing the kernel
-// in-process — and returns the cleanup to run after simulation (nil
-// when nothing needs closing). A non-nil pool supplies a recycled Sim
-// (returned to the pool by the cleanup); a non-nil arena supplies
-// decoded trace sharing.
-func newSim(j Job, arena *trace.Arena, pool *core.Pool) (*core.Sim, func() error, error) {
+// in-process — and returns the materialization mode (Source*) plus
+// the cleanup to run after simulation (nil when nothing needs
+// closing). A non-nil pool supplies a recycled Sim (returned to the
+// pool by the cleanup); a non-nil arena supplies decoded trace
+// sharing.
+func newSim(j Job, arena *trace.Arena, pool *core.Pool) (*core.Sim, string, func() error, error) {
 	var (
 		src     trace.Source
 		name    string
+		mode    string
 		closeFn func() error
 	)
 	if j.Trace != "" {
-		s, hdrName, cfn, err := openTraceSource(j.Trace, arena)
+		s, hdrName, m, cfn, err := openTraceSource(j.Trace, arena)
 		if err != nil {
-			return nil, nil, err
+			return nil, "", nil, err
 		}
-		src, closeFn = s, cfn
+		src, mode, closeFn = s, m, cfn
 		name = j.Kernel
 		if name == "" {
 			name = hdrName
@@ -479,10 +497,11 @@ func newSim(j Job, arena *trace.Arena, pool *core.Pool) (*core.Sim, func() error
 	} else {
 		prog, err := workload.Build(j.Kernel, j.EffectiveScale(), j.Seed)
 		if err != nil {
-			return nil, nil, err
+			return nil, "", nil, err
 		}
 		src = trace.NewExecutor(prog)
 		name = prog.Name
+		mode = SourceSynth
 	}
 	var sim *core.Sim
 	var err error
@@ -495,7 +514,7 @@ func newSim(j Job, arena *trace.Arena, pool *core.Pool) (*core.Sim, func() error
 		if closeFn != nil {
 			closeFn()
 		}
-		return nil, nil, err
+		return nil, "", nil, err
 	}
 	cleanup := func() error {
 		var cerr error
@@ -507,13 +526,13 @@ func newSim(j Job, arena *trace.Arena, pool *core.Pool) (*core.Sim, func() error
 		}
 		return cerr
 	}
-	return sim, cleanup, nil
+	return sim, mode, cleanup, nil
 }
 
 // simulate runs one job through the timing simulator with the given
 // trace arena and Sim pool (either may be nil to opt out).
 func simulate(j Job, every int64, fn func(core.Progress), arena *trace.Arena, pool *core.Pool) (stats.Results, error) {
-	sim, cleanup, err := newSim(j, arena, pool)
+	sim, _, cleanup, err := newSim(j, arena, pool)
 	if err != nil {
 		return stats.Results{}, err
 	}
@@ -524,6 +543,71 @@ func simulate(j Job, every int64, fn func(core.Progress), arena *trace.Arena, po
 		sim.SetProgress(every, fn)
 	}
 	return sim.Run()
+}
+
+// warmupProbeInterval is the progress period simulateTraced falls back
+// to when the caller wants no progress events: frequent enough to end
+// the sim.warmup span near the first commit, rare enough to stay
+// invisible in the cycle loop.
+const warmupProbeInterval = 10_000
+
+// simulateTraced is simulate with span instrumentation: a
+// sim.materialize child covering trace-source setup (attributed with
+// the Source* mode), and a sim.run child covering the simulation
+// itself, with a sim.warmup sub-span ended at the first progress
+// snapshot that shows committed instructions and the coarse
+// phase-cycle split (core.Sim.PhaseCycles) attached as attributes.
+// Spans start and end outside the cycle loop; the only per-cycle cost
+// is the phase counters core maintains unconditionally.
+func simulateTraced(j Job, every int64, fn func(core.Progress), arena *trace.Arena, pool *core.Pool, parent *obs.ActiveSpan) (stats.Results, error) {
+	mat := parent.StartChild("sim.materialize")
+	sim, mode, cleanup, err := newSim(j, arena, pool)
+	mat.SetAttr("source", mode)
+	if j.Trace != "" {
+		mat.SetAttr("trace", j.Trace)
+	}
+	mat.End()
+	if err != nil {
+		return stats.Results{}, err
+	}
+	if cleanup != nil {
+		defer cleanup()
+	}
+
+	run := parent.StartChild("sim.run")
+	warm := run.StartChild("sim.warmup")
+	warmDone := false
+	interval := every
+	if interval <= 0 {
+		interval = warmupProbeInterval
+	}
+	// The wrapper runs on the simulation goroutine (this goroutine), so
+	// plain variables are safe. Ending a span allocates, but at most
+	// once per job — never per cycle.
+	sim.SetProgress(interval, func(p core.Progress) {
+		if !warmDone && p.Instructions > 0 {
+			warmDone = true
+			warm.SetAttr("cycle", obs.FormatAttr(p.Cycle))
+			warm.End()
+		}
+		if fn != nil {
+			fn(p)
+		}
+	})
+	res, rerr := sim.Run()
+	warm.End() // no-op if the probe already ended it
+
+	wu, st, dr := sim.PhaseCycles()
+	run.SetAttr("phase_cycles_warmup", obs.FormatAttr(wu))
+	run.SetAttr("phase_cycles_steady", obs.FormatAttr(st))
+	run.SetAttr("phase_cycles_drain", obs.FormatAttr(dr))
+	run.SetAttr("cycles", obs.FormatAttr(res.Cycles))
+	run.SetAttr("instructions", obs.FormatAttr(res.Instructions))
+	if rerr != nil {
+		run.SetAttr("error", rerr.Error())
+	}
+	run.End()
+	return res, rerr
 }
 
 // Simulate is the default Run function: stream the job's dynamic
@@ -544,4 +628,16 @@ func Simulate(j Job) (stats.Results, error) {
 // without progress.
 func SimulateWithProgress(j Job, every int64, fn func(core.Progress)) (stats.Results, error) {
 	return simulate(j, every, fn, defaultArena, core.DefaultPool)
+}
+
+// SimulateTraced is SimulateWithProgress plus span instrumentation:
+// when parent is non-nil, sim.materialize and sim.run child spans
+// (with a sim.warmup sub-span and phase-cycle attributes) record
+// where the job's wall-clock went. A nil parent is exactly
+// SimulateWithProgress — untraced callers pay one nil check.
+func SimulateTraced(j Job, every int64, fn func(core.Progress), parent *obs.ActiveSpan) (stats.Results, error) {
+	if parent == nil {
+		return simulate(j, every, fn, defaultArena, core.DefaultPool)
+	}
+	return simulateTraced(j, every, fn, defaultArena, core.DefaultPool, parent)
 }

@@ -22,11 +22,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"clustervp/internal/obs"
 	"clustervp/internal/service"
 )
 
@@ -113,6 +115,10 @@ func apiError(resp *http.Response) error {
 }
 
 // newRequest builds a request with the client's credentials attached.
+// When the context carries an active span (obs.NewContext), its W3C
+// traceparent rides along, so the server's request span — and any job
+// it admits — continues the caller's trace. This is the propagation
+// edge of a coordinator→replica hop.
 func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
@@ -120,6 +126,9 @@ func (c *Client) newRequest(ctx context.Context, method, path string, body io.Re
 	}
 	if c.apiKey != "" {
 		req.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
+	if sp := obs.FromContext(ctx); sp != nil {
+		req.Header.Set("traceparent", sp.Context().Traceparent())
 	}
 	return req, nil
 }
@@ -285,6 +294,44 @@ func (c *Client) Run(ctx context.Context, req service.JobRequest) (service.JobSt
 		return service.JobStatus{}, err
 	}
 	return c.Wait(ctx, st.ID)
+}
+
+// JobTrace fetches GET /v1/jobs/{id}/trace?format=spans: the job's
+// span timeline as structured data.
+func (c *Client) JobTrace(ctx context.Context, id string) (service.TraceResponse, error) {
+	var tr service.TraceResponse
+	err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace?format=spans", nil, &tr)
+	return tr, err
+}
+
+// JobTraceChrome fetches GET /v1/jobs/{id}/trace?format=chrome: the
+// raw Chrome trace-event JSON, ready to write to disk and load in
+// chrome://tracing or Perfetto.
+func (c *Client) JobTraceChrome(ctx context.Context, id string) ([]byte, error) {
+	var raw json.RawMessage
+	err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace?format=chrome", nil, &raw)
+	return raw, err
+}
+
+// Tracez fetches GET /v1/tracez. A non-empty traceID filters to that
+// trace's retained spans (the fleet coordinator collects a job's
+// replica-side spans this way); limit bounds the unfiltered listing
+// (<=0 = server default).
+func (c *Client) Tracez(ctx context.Context, traceID string, limit int) (service.TracezResponse, error) {
+	path := "/v1/tracez"
+	q := url.Values{}
+	if traceID != "" {
+		q.Set("trace_id", traceID)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var tz service.TracezResponse
+	err := c.doJSON(ctx, http.MethodGet, path, nil, &tz)
+	return tz, err
 }
 
 // UploadTrace streams a .cvt container to the server's trace store and

@@ -1,0 +1,105 @@
+package client
+
+// Trace propagation and trace-fetch tests: newRequest injects the W3C
+// traceparent of a context-carried span (and only then), and the
+// JobTrace/Tracez accessors decode the server's tracing surface.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"clustervp/internal/config"
+	"clustervp/internal/obs"
+	"clustervp/internal/service"
+)
+
+// TestTraceparentInjection: a span on the context rides every request
+// as a traceparent header; a bare context sends none.
+func TestTraceparentInjection(t *testing.T) {
+	var mu sync.Mutex
+	var headers []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		headers = append(headers, r.Header.Get("traceparent"))
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	col := obs.NewCollector("test", 16)
+	span := col.StartRoot("op", obs.SpanContext{})
+	if err := c.Health(obs.NewContext(context.Background(), span)); err != nil {
+		t.Fatal(err)
+	}
+	span.End()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(headers) != 2 {
+		t.Fatalf("server saw %d requests, want 2", len(headers))
+	}
+	if headers[0] != "" {
+		t.Errorf("bare context sent traceparent %q, want none", headers[0])
+	}
+	want := span.Context().Traceparent()
+	if headers[1] != want {
+		t.Errorf("span context sent traceparent %q, want %q", headers[1], want)
+	}
+	if got, ok := obs.ParseTraceparent(headers[1]); !ok || got.TraceID != span.TraceID() {
+		t.Errorf("injected header %q does not parse back to trace %s", headers[1], span.TraceID())
+	}
+}
+
+// TestJobTraceAndTracez: the typed accessors for the tracing surface
+// round-trip against a real server.
+func TestJobTraceAndTracez(t *testing.T) {
+	c, s := newClientServer(t, service.Options{})
+	ctx := context.Background()
+	st, err := c.Run(ctx, service.JobRequest{
+		Machine: config.MachineSpec{Clusters: "2"}, Kernel: "rawcaudio",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceID == "" {
+		t.Fatal("job status has no trace id")
+	}
+
+	tr, err := c.JobTrace(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TraceID != st.TraceID || len(tr.Spans) == 0 {
+		t.Errorf("JobTrace = trace %q with %d spans, want %q with spans", tr.TraceID, len(tr.Spans), st.TraceID)
+	}
+
+	raw, err := c.JobTraceChrome(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 {
+		t.Error("JobTraceChrome returned an empty document")
+	}
+
+	tz, err := c.Tracez(ctx, st.TraceID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tz.Spans) == 0 {
+		t.Fatalf("Tracez(%s) returned no spans", st.TraceID)
+	}
+	for _, sp := range tz.Spans {
+		if sp.TraceID != st.TraceID {
+			t.Errorf("filtered span %q has trace %s, want %s", sp.Name, sp.TraceID, st.TraceID)
+		}
+	}
+	_ = s
+}

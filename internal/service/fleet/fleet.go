@@ -24,10 +24,12 @@ import (
 	"hash/fnv"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"clustervp/internal/obs"
 	"clustervp/internal/runner"
 	"clustervp/internal/service"
 	"clustervp/internal/service/client"
@@ -65,6 +67,9 @@ type Options struct {
 	HTTPClient *http.Client
 	// Logger receives structured dispatch and health logs; nil discards.
 	Logger *slog.Logger
+	// SpanRing bounds the coordinator's finished-span ring
+	// (<=0 = obs.DefaultRingSize). Tracing is always on.
+	SpanRing int
 }
 
 // Coordinator fans a job stream out across replicas. Create with New,
@@ -75,6 +80,7 @@ type Coordinator struct {
 	start    time.Time
 	logger   *slog.Logger
 	handler  http.Handler
+	spans    *obs.Collector
 
 	mu       sync.Mutex
 	jobs     map[string]*fleetJob
@@ -125,6 +131,7 @@ func New(opts Options) (*Coordinator, error) {
 		opts:   opts,
 		start:  time.Now(),
 		logger: logger,
+		spans:  obs.NewCollector("coordinator", opts.SpanRing),
 		jobs:   make(map[string]*fleetJob),
 		ctx:    ctx,
 		cancel: cancel,
@@ -195,7 +202,14 @@ func (co *Coordinator) shardOf(key string) int {
 
 // Submit validates and admits one job, returning its queued snapshot.
 func (co *Coordinator) Submit(req service.JobRequest) (service.JobStatus, error) {
-	ids, err := co.admit([]service.JobRequest{req})
+	return co.submitTraced(req, nil)
+}
+
+// submitTraced admits one job, parenting its trace under the caller's
+// request span when one exists — this is how a traceparent that arrived
+// on POST /v1/jobs threads through the coordinator into the replica.
+func (co *Coordinator) submitTraced(req service.JobRequest, parent *obs.ActiveSpan) (service.JobStatus, error) {
+	ids, err := co.admit([]service.JobRequest{req}, parent)
 	if err != nil {
 		return service.JobStatus{}, err
 	}
@@ -223,12 +237,14 @@ func (co *Coordinator) SubmitGrid(req service.GridRequest) ([]string, error) {
 			}
 		}
 	}
-	return co.admit(reqs)
+	// Grid-expanded jobs each root their own trace (one trace per job);
+	// only a single-job submit continues the caller's trace.
+	return co.admit(reqs, nil)
 }
 
 // admit validates every request, checks fleet-wide backpressure, and
 // registers + dispatches the batch all-or-nothing.
-func (co *Coordinator) admit(reqs []service.JobRequest) ([]string, error) {
+func (co *Coordinator) admit(reqs []service.JobRequest, parent *obs.ActiveSpan) ([]string, error) {
 	keys := make([]string, len(reqs))
 	for i, r := range reqs {
 		k, err := shardKey(r)
@@ -264,6 +280,21 @@ func (co *Coordinator) admit(reqs []service.JobRequest) ([]string, error) {
 			terminal:  make(chan struct{}),
 			subs:      make(map[chan service.Event]struct{}),
 		}
+		if parent != nil {
+			j.span = parent.StartChild("job " + j.id)
+		} else {
+			j.span = co.spans.StartRoot("job "+j.id, obs.SpanContext{})
+		}
+		j.span.SetAttr("job", j.id)
+		j.span.SetAttr("shard", strconv.Itoa(j.shard))
+		j.span.SetAttr("shard_key", j.key)
+		if r.Kernel != "" {
+			j.span.SetAttr("kernel", r.Kernel)
+		}
+		if r.TraceDigest != "" {
+			j.span.SetAttr("trace_digest", r.TraceDigest)
+		}
+		j.traceID = j.span.TraceID()
 		co.jobs[j.id] = j
 		co.order = append(co.order, j.id)
 		co.inflight++
@@ -348,9 +379,19 @@ func (co *Coordinator) dispatch(j *fleetJob) {
 		if attempt > 0 {
 			co.resubmits.Add(1)
 			co.logger.Warn("fleet resubmitting shard",
-				"job", j.id, "replica", r.name, "attempt", attempt)
+				"job", j.id, "replica", r.name, "attempt", attempt,
+				"trace_id", j.traceID)
 		}
-		if done := co.runOn(r, j); done {
+		// One span per dispatch attempt, all siblings under the job
+		// span: a failover shows up in the timeline as a second
+		// fleet.dispatch span with attempt=1 next to the failed one.
+		sp := j.span.StartChild("fleet.dispatch")
+		sp.SetAttr("replica", r.name)
+		sp.SetAttr("attempt", strconv.Itoa(attempt))
+		done := co.runOn(r, j, sp)
+		sp.SetAttr("delivered", strconv.FormatBool(done))
+		sp.End()
+		if done {
 			return
 		}
 		r.dispatchFailed()
@@ -373,9 +414,11 @@ func (co *Coordinator) finishInflight() {
 // the terminal status. It reports true when the job reached a terminal
 // state — including a *deterministic* simulation failure, which no
 // other replica would decide differently — and false when the replica
-// itself failed and the ring should move on.
-func (co *Coordinator) runOn(r *replica, j *fleetJob) (delivered bool) {
-	ctx := co.ctx
+// itself failed and the ring should move on. The dispatch-attempt span
+// rides the context so the replica-bound submit carries a traceparent
+// and the replica's job continues this job's trace.
+func (co *Coordinator) runOn(r *replica, j *fleetJob, sp *obs.ActiveSpan) (delivered bool) {
+	ctx := obs.NewContext(co.ctx, sp)
 	remote, err := r.c.SubmitJob(ctx, j.req)
 	if err != nil {
 		co.logger.Warn("fleet submit failed", "job", j.id, "replica", r.name, "error", err)
@@ -406,14 +449,14 @@ func (co *Coordinator) runOn(r *replica, j *fleetJob) (delivered bool) {
 	case service.StateDone:
 		j.complete(st, r.name)
 		co.done.Add(1)
-		co.logger.Info("fleet job done", "job", j.id, "replica", r.name)
+		co.logger.Info("fleet job done", "job", j.id, "replica", r.name, "trace_id", j.traceID)
 		return true
 	case service.StateFailed:
 		// The simulator is deterministic: a failed simulation fails
 		// everywhere. Retrying elsewhere would only duplicate the loss.
 		j.fail(st.Error, r.name)
 		co.failed.Add(1)
-		co.logger.Info("fleet job failed", "job", j.id, "replica", r.name, "error", st.Error)
+		co.logger.Info("fleet job failed", "job", j.id, "replica", r.name, "error", st.Error, "trace_id", j.traceID)
 		return true
 	default:
 		co.logger.Warn("fleet replica returned non-terminal state",
@@ -430,6 +473,12 @@ type fleetJob struct {
 	req   service.JobRequest
 	key   string // shard key (fingerprint)
 	shard int    // home replica index
+
+	// span is the job's root (or request-parented) trace span, assigned
+	// once in admit before the dispatch goroutine starts; traceID is its
+	// immutable trace id, safe to read without j.mu.
+	span    *obs.ActiveSpan
+	traceID string
 
 	mu        sync.Mutex
 	state     string
@@ -466,6 +515,7 @@ func (j *fleetJob) status() service.JobStatus {
 		TraceDigest: j.req.TraceDigest,
 		Priority:    j.req.Priority,
 		Replica:     j.replica,
+		TraceID:     j.traceID,
 		SubmittedAt: j.submitted,
 		StartedAt:   j.started,
 		FinishedAt:  j.finished,
@@ -517,6 +567,9 @@ func (j *fleetJob) complete(st service.JobStatus, replica string) {
 	}
 	j.finished = time.Now()
 	j.mu.Unlock()
+	j.span.SetAttr("state", service.StateDone)
+	j.span.SetAttr("replica", replica)
+	j.span.End()
 	close(j.terminal)
 }
 
@@ -534,6 +587,12 @@ func (j *fleetJob) fail(msg, replica string) {
 	}
 	j.finished = time.Now()
 	j.mu.Unlock()
+	j.span.SetAttr("state", service.StateFailed)
+	j.span.SetAttr("error", msg)
+	if replica != "" {
+		j.span.SetAttr("replica", replica)
+	}
+	j.span.End()
 	close(j.terminal)
 }
 
@@ -554,19 +613,22 @@ func (j *fleetJob) unsubscribe(ch chan service.Event) {
 }
 
 // snapshotEventLocked renders the current state as one event line.
+// Synthesized lines carry the coordinator-side trace id; forwarded
+// replica progress already carries the same id, because the replica's
+// job continued this trace over the dispatch hop.
 func (j *fleetJob) snapshotEventLocked() service.Event {
 	switch j.state {
 	case service.StateRunning:
 		if j.last.State == service.StateRunning {
 			return j.last
 		}
-		return service.Event{State: service.StateRunning}
+		return service.Event{State: service.StateRunning, TraceID: j.traceID}
 	case service.StateDone:
-		return service.Event{State: service.StateDone}
+		return service.Event{State: service.StateDone, TraceID: j.traceID}
 	case service.StateFailed:
-		return service.Event{State: service.StateFailed, Error: j.errMsg}
+		return service.Event{State: service.StateFailed, Error: j.errMsg, TraceID: j.traceID}
 	default:
-		return service.Event{State: service.StateQueued}
+		return service.Event{State: service.StateQueued, TraceID: j.traceID}
 	}
 }
 
@@ -575,7 +637,7 @@ func (j *fleetJob) terminalEvent() service.Event {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state == service.StateFailed {
-		return service.Event{State: service.StateFailed, Error: j.errMsg}
+		return service.Event{State: service.StateFailed, Error: j.errMsg, TraceID: j.traceID}
 	}
-	return service.Event{State: service.StateDone}
+	return service.Event{State: service.StateDone, TraceID: j.traceID}
 }

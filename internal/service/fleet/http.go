@@ -9,6 +9,10 @@ package fleet
 //	POST /v1/grids            admit a grid all-or-nothing  -> 202 {"jobs": [ids]}
 //	GET  /v1/jobs/{id}        status + results JSON (replica-attributed)
 //	GET  /v1/jobs/{id}/events NDJSON: queued → running (+progress) → done|failed
+//	GET  /v1/jobs/{id}/trace  merged span timeline: coordinator spans + every
+//	                          replica's spans for the job's trace id
+//	                          (?format=chrome|spans, like the single box)
+//	GET  /v1/tracez           the coordinator's own recent-span ring
 //	GET  /v1/healthz          coordinator liveness
 //	GET  /v1/statsz           fleet-shaped stats: coordinator totals + per-replica health
 //
@@ -22,6 +26,7 @@ import (
 	"strconv"
 	"time"
 
+	"clustervp/internal/obs"
 	"clustervp/internal/service"
 )
 
@@ -32,9 +37,50 @@ func (co *Coordinator) buildHandler() http.Handler {
 	mux.HandleFunc("POST /v1/grids", co.handleSubmitGrid)
 	mux.HandleFunc("GET /v1/jobs/{id}", co.handleJobStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", co.handleJobEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", co.handleJobTrace)
+	mux.HandleFunc("GET /v1/tracez", co.handleTracez)
 	mux.HandleFunc("GET /v1/healthz", co.handleHealthz)
 	mux.HandleFunc("GET /v1/statsz", co.handleStatsz)
-	return co.envelopeFallback(mux)
+	return co.instrument(co.envelopeFallback(mux))
+}
+
+// statusRecorder captures the final status code for the request span
+// and log line while passing streaming flushes through.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument opens a request span (continuing an inbound W3C
+// traceparent when one parses; a malformed header just roots a fresh
+// trace) and emits one structured log line per request with the
+// trace id — the same discipline as the single box, so grepping a
+// trace id works across the whole fleet's logs.
+func (co *Coordinator) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		remote, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		span := co.spans.StartRoot("http "+r.Method+" "+r.URL.Path, remote)
+		rw := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rw, r.WithContext(obs.NewContext(r.Context(), span)))
+		span.SetAttr("http_status", strconv.Itoa(rw.status))
+		span.End()
+		co.logger.Info("request",
+			"method", r.Method, "path", r.URL.Path, "status", rw.status,
+			"dur_ms", time.Since(start).Milliseconds(),
+			"trace_id", span.TraceID(), "request_id", span.SpanID())
+	})
 }
 
 // Handler returns the coordinator's HTTP API.
@@ -127,7 +173,7 @@ func (co *Coordinator) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	st, err := co.Submit(req)
+	st, err := co.submitTraced(req, obs.FromContext(r.Context()))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -205,6 +251,41 @@ func (co *Coordinator) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleJobTrace assembles one fleet job's end-to-end timeline: the
+// coordinator's own spans for the trace (admission, every dispatch
+// attempt) merged with the replica-side spans fetched live from every
+// reachable replica's /v1/tracez?trace_id= — the replica that ran the
+// job contributes the admission→queue→run→sim spans, all under the
+// same trace id thanks to traceparent propagation on the dispatch hop.
+// An unreachable replica is skipped, not an error: a partial timeline
+// beats none while a box is down.
+func (co *Coordinator) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	co.mu.Lock()
+	j, ok := co.jobs[r.PathValue("id")]
+	co.mu.Unlock()
+	if !ok {
+		writeError(w, service.ErrNoSuchJob)
+		return
+	}
+	spans := co.spans.TraceSpans(j.traceID)
+	for _, rep := range co.replicas {
+		if rep.health() == replicaDown {
+			continue
+		}
+		tz, err := rep.c.Tracez(r.Context(), j.traceID, 0)
+		if err != nil {
+			co.logger.Warn("fleet trace fetch failed", "replica", rep.name, "error", err)
+			continue
+		}
+		spans = append(spans, tz.Spans...)
+	}
+	service.WriteTrace(w, r, spans, j.traceID, j.id, j.status().State)
+}
+
+func (co *Coordinator) handleTracez(w http.ResponseWriter, r *http.Request) {
+	service.WriteTracez(w, r, co.spans)
 }
 
 func (co *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {

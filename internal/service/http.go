@@ -6,6 +6,8 @@ package service
 //	POST /v1/grids            submit a machine×kernel×scale grid -> 202 {"jobs": [ids]}
 //	GET  /v1/jobs/{id}        status + stats.Results JSON (tenant-scoped)
 //	GET  /v1/jobs/{id}/events NDJSON stream: queued → running (+progress) → done|failed
+//	GET  /v1/jobs/{id}/trace  span timeline (?format=chrome|spans, tenant-scoped)
+//	GET  /v1/tracez           recent finished spans across all traces
 //	POST /v1/traces           upload a .cvt trace       -> 201 {"digest", "records"}
 //	GET  /v1/healthz          liveness (unauthenticated)
 //	GET  /v1/statsz           queue/cache/tenant sections, schema_version
@@ -34,6 +36,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"clustervp/internal/obs"
 )
 
 // buildHandler assembles the route table and middleware chain once, at
@@ -44,6 +48,8 @@ func (s *Server) buildHandler() http.Handler {
 	mux.HandleFunc("POST /v1/grids", s.handleSubmitGrid)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/tracez", s.handleTracez)
 	mux.HandleFunc("POST /v1/traces", s.handleUploadTrace)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
@@ -118,13 +124,22 @@ func (w *statusWriter) Flush() {
 }
 
 // instrument wraps the whole chain: it injects the reqInfo holder,
-// measures latency into the Prometheus histograms, and emits one
-// structured request log line with tenant/job/fingerprint attribution.
+// starts the request span (continuing the caller's W3C traceparent
+// when one is presented — a malformed or foreign header just starts a
+// fresh root trace, never an error), measures latency into the
+// Prometheus histograms, and emits one structured request log line
+// with trace/tenant/job/fingerprint attribution. Every instrumented
+// request — including 4xx/5xx envelope paths, which run inside this
+// wrapper — logs a trace_id and a request_id (the request span's own
+// id, the fallback correlation key when the trace has a single span).
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		ri := &reqInfo{}
-		r = r.WithContext(context.WithValue(r.Context(), ctxKey{}, ri))
+		remote, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		span := s.spans.StartRoot("http "+r.Method+" "+r.URL.Path, remote)
+		ctx := obs.NewContext(context.WithValue(r.Context(), ctxKey{}, ri), span)
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
 		if sw.status == 0 {
@@ -138,11 +153,16 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		}
 		dur := time.Since(start)
 		s.metrics.observeHTTP(route, r.Method, sw.status, dur)
+		span.SetAttr("status", strconv.Itoa(sw.status))
+		span.SetAttr("route", route)
+		span.End()
 		attrs := []slog.Attr{
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.Int("status", sw.status),
 			slog.Duration("duration", dur),
+			slog.String("trace_id", span.TraceID()),
+			slog.String("request_id", span.SpanID()),
 		}
 		if ri.tenant != nil {
 			attrs = append(attrs, slog.String("tenant", ri.tenant.cfg.Name))
@@ -305,7 +325,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	st, err := s.submitAs(s.tenantOf(r), req)
+	st, err := s.submitAs(s.tenantOf(r), req, obs.FromContext(r.Context()))
 	if err != nil {
 		writeError(w, err)
 		return

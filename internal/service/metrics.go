@@ -36,18 +36,62 @@ type httpSeries struct {
 	count   int64
 }
 
+// jobSeries is one via label's pair of duration histograms: total
+// job wall-clock (admission to terminal) and queue wait. Both derive
+// from the job's span timings, so /metrics and the trace endpoints
+// report the same clock.
+type jobSeries struct {
+	durBuckets  []int64
+	durSum      float64
+	waitBuckets []int64
+	waitSum     float64
+	count       int64
+}
+
 // metrics collects HTTP-side series. Simulation and queue counters
 // live on the Server/Engine and are read at exposition time.
 type metrics struct {
 	mu   sync.Mutex
 	http map[routeKey]*httpSeries
-	shed map[string]int64 // load-shed admissions by reason
+	shed map[string]int64      // load-shed admissions by reason
+	jobs map[string]*jobSeries // job/queue-wait durations by via
 }
 
 func newMetrics() *metrics {
 	return &metrics{
 		http: make(map[routeKey]*httpSeries),
 		shed: make(map[string]int64),
+		jobs: make(map[string]*jobSeries),
+	}
+}
+
+// observeJob records one terminal job: its queue wait and total
+// duration, attributed to how it resolved (simulated/memo/cache).
+func (m *metrics) observeJob(via string, queueWait, total time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	js := m.jobs[via]
+	if js == nil {
+		js = &jobSeries{
+			durBuckets:  make([]int64, len(latencyBuckets)),
+			waitBuckets: make([]int64, len(latencyBuckets)),
+		}
+		m.jobs[via] = js
+	}
+	js.count++
+	observeInto(js.durBuckets, &js.durSum, total.Seconds())
+	observeInto(js.waitBuckets, &js.waitSum, queueWait.Seconds())
+}
+
+// observeInto adds one observation to a per-bucket (non-cumulative)
+// histogram.
+func observeInto(buckets []int64, sum *float64, sec float64) {
+	*sum += sec
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			buckets[i]++
+			break
+		}
 	}
 }
 
@@ -184,6 +228,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, reason := range shedReasons {
 		p.sample("clusterd_load_shed_total", float64(s.metrics.shed[reason]), "reason", reason)
 	}
+
+	// Job-duration histograms by resolution path, derived from the same
+	// span timings GET /v1/jobs/{id}/trace reports.
+	vias := make([]string, 0, len(s.metrics.jobs))
+	for via := range s.metrics.jobs {
+		vias = append(vias, via)
+	}
+	sort.Strings(vias)
+	emitJobHist := func(name string, buckets func(*jobSeries) []int64, sum func(*jobSeries) float64) {
+		for _, via := range vias {
+			js := s.metrics.jobs[via]
+			cum := int64(0)
+			for i, ub := range latencyBuckets {
+				cum += buckets(js)[i]
+				p.sample(name+"_bucket", float64(cum),
+					"via", via, "le", strconv.FormatFloat(ub, 'g', -1, 64))
+			}
+			p.sample(name+"_bucket", float64(js.count), "via", via, "le", "+Inf")
+			p.sample(name+"_sum", sum(js), "via", via)
+			p.sample(name+"_count", float64(js.count), "via", via)
+		}
+	}
+	p.family("clusterd_job_duration_seconds", "Job wall-clock from admission to terminal state, by resolution path.", "histogram")
+	emitJobHist("clusterd_job_duration_seconds",
+		func(js *jobSeries) []int64 { return js.durBuckets },
+		func(js *jobSeries) float64 { return js.durSum })
+	p.family("clusterd_queue_wait_seconds", "Job time spent queued before a worker picked it up, by resolution path.", "histogram")
+	emitJobHist("clusterd_queue_wait_seconds",
+		func(js *jobSeries) []int64 { return js.waitBuckets },
+		func(js *jobSeries) float64 { return js.waitSum })
 
 	keys := make([]routeKey, 0, len(s.metrics.http))
 	for k := range s.metrics.http {

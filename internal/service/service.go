@@ -29,6 +29,7 @@ import (
 
 	"clustervp/internal/config"
 	"clustervp/internal/core"
+	"clustervp/internal/obs"
 	"clustervp/internal/runner"
 	"clustervp/internal/stats"
 	"clustervp/internal/trace"
@@ -119,6 +120,10 @@ type JobStatus struct {
 	// single-box server, so the field never appears outside fleet mode.
 	Replica string `json:"replica,omitempty"`
 
+	// TraceID correlates the job with its distributed trace: the same id
+	// appears in request logs, job events, and GET /v1/jobs/{id}/trace.
+	TraceID string `json:"trace_id,omitempty"`
+
 	SubmittedAt time.Time `json:"submitted_at,omitzero"`
 	StartedAt   time.Time `json:"started_at,omitzero"`
 	FinishedAt  time.Time `json:"finished_at,omitzero"`
@@ -137,6 +142,9 @@ type Event struct {
 	Instructions uint64  `json:"instructions,omitempty"`
 	IPC          float64 `json:"ipc,omitempty"`
 	Error        string  `json:"error,omitempty"`
+	// TraceID is the job's trace id, on every event line, so a stream
+	// consumer can jump from events to the span timeline.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // QueueStats is the queue/worker section of statsz.
@@ -211,6 +219,11 @@ type Options struct {
 	// one tenant cannot read another's jobs. Empty = open mode: no
 	// auth, every caller is the "anonymous" tenant with no quotas.
 	Tenants []Tenant
+	// SpanRing bounds the retained finished spans of the tracing
+	// collector (<=0 = obs.DefaultRingSize). Tracing is always on —
+	// span starts/ends sit outside the simulation cycle loop, so the
+	// cost per job is a handful of allocations, not per-cycle work.
+	SpanRing int
 	// Logger receives structured request and job-lifecycle logs; nil
 	// discards them.
 	Logger *slog.Logger
@@ -237,6 +250,7 @@ type Server struct {
 
 	logger  *slog.Logger
 	metrics *metrics
+	spans   *obs.Collector
 
 	mu      sync.Mutex
 	jobs    map[string]*job
@@ -299,6 +313,7 @@ func New(opts Options) (*Server, error) {
 		fanouts: make(map[string]*fanout),
 		logger:  logger,
 		metrics: newMetrics(),
+		spans:   obs.NewCollector("clusterd", opts.SpanRing),
 	}
 	if err := validateTenants(opts.Tenants); err != nil {
 		return nil, fmt.Errorf("service: %w", err)
@@ -336,16 +351,24 @@ func New(opts Options) (*Server, error) {
 
 // simulate is the engine's run function: the real simulator with
 // progress fanned out to every job sharing the fingerprint, or the
-// injected test stub.
+// injected test stub. The simulation's spans (materialize/run/warmup)
+// parent under the first attached job's run span — the engine
+// deduplicates executions by fingerprint, so the one simulation's
+// timeline lands in one job's trace; the duplicates record a memo-hit
+// via instead.
 func (s *Server) simulate(j runner.Job) (stats.Results, error) {
 	if s.opts.Run != nil {
 		return s.opts.Run(j)
 	}
 	if f := s.fanoutLookup(j.Fingerprint()); f != nil {
-		return runner.SimulateWithProgress(j, s.opts.ProgressInterval, f.publish)
+		return runner.SimulateTraced(j, s.opts.ProgressInterval, f.publish, f.parentSpan())
 	}
 	return runner.Simulate(j)
 }
+
+// Spans exposes the tracing collector (the /v1/tracez and
+// /v1/jobs/{id}/trace surfaces; tests read it directly).
+func (s *Server) Spans() *obs.Collector { return s.spans }
 
 // fanoutLookup returns the fanout currently registered for a
 // fingerprint, or nil.
@@ -430,12 +453,14 @@ func (s *Server) buildJob(req JobRequest) (runner.Job, error) {
 // returning its status snapshot. HTTP submissions go through submitAs
 // with the authenticated tenant instead.
 func (s *Server) Submit(req JobRequest) (JobStatus, error) {
-	return s.submitAs(s.anonymous, req)
+	return s.submitAs(s.anonymous, req, nil)
 }
 
 // submitAs validates and enqueues one job for a tenant, enforcing its
-// quotas at admission.
-func (s *Server) submitAs(t *tenantState, req JobRequest) (JobStatus, error) {
+// quotas at admission. A non-nil parent span (the HTTP request span)
+// roots the job's trace under the caller's — so a coordinator-
+// dispatched job shares the coordinator's trace id.
+func (s *Server) submitAs(t *tenantState, req JobRequest, parent *obs.ActiveSpan) (JobStatus, error) {
 	rjob, err := s.buildJob(req)
 	if err != nil {
 		return JobStatus{}, err
@@ -445,9 +470,10 @@ func (s *Server) submitAs(t *tenantState, req JobRequest) (JobStatus, error) {
 	if err := s.admitLocked(t, 1); err != nil {
 		return JobStatus{}, err
 	}
-	j := s.enqueueLocked(t, req, rjob)
+	j := s.enqueueLocked(t, req, rjob, parent)
 	s.logger.Info("job submitted",
-		"tenant", t.cfg.Name, "job", j.id, "fingerprint", j.fp, "priority", j.priority)
+		"tenant", t.cfg.Name, "job", j.id, "fingerprint", j.fp, "priority", j.priority,
+		"trace_id", j.traceID)
 	return j.status(), nil
 }
 
@@ -459,7 +485,11 @@ func (s *Server) SubmitGrid(req GridRequest) ([]string, error) {
 }
 
 // submitGridAs is SubmitGrid for a tenant: the whole grid must fit the
-// global queue AND the tenant's quotas, or nothing is admitted.
+// global queue AND the tenant's quotas, or nothing is admitted. Each
+// expanded job roots its own trace (not the submitting request's):
+// the contract is one trace per job, and a thousand-job grid sharing
+// one trace id would make every per-job timeline drag the whole grid
+// along.
 func (s *Server) submitGridAs(t *tenantState, req GridRequest) ([]string, error) {
 	if len(req.Machines) == 0 || len(req.Kernels) == 0 {
 		return nil, fmt.Errorf("%w: a grid needs at least one machine and one kernel", ErrBadRequest)
@@ -490,7 +520,7 @@ func (s *Server) submitGridAs(t *tenantState, req GridRequest) ([]string, error)
 	}
 	ids := make([]string, len(reqs))
 	for i := range reqs {
-		ids[i] = s.enqueueLocked(t, reqs[i], rjobs[i]).id
+		ids[i] = s.enqueueLocked(t, reqs[i], rjobs[i], nil).id
 	}
 	s.logger.Info("grid submitted", "tenant", t.cfg.Name, "jobs", len(ids))
 	return ids, nil
@@ -533,7 +563,13 @@ func (s *Server) admitLocked(t *tenantState, n int) error {
 // the avail send cannot block. The requested priority is clamped to
 // the tenant's ceiling here, so the heap never sees a priority the
 // tenant was not entitled to.
-func (s *Server) enqueueLocked(t *tenantState, req JobRequest, rjob runner.Job) *job {
+//
+// The job's root span starts here — admission IS the start of the
+// job's timeline — as a child of the submitting request's span when
+// one is given (continuing a coordinator's trace across the hop), or
+// as a fresh root otherwise. The queue.wait child starts immediately
+// and ends when a worker picks the job up.
+func (s *Server) enqueueLocked(t *tenantState, req JobRequest, rjob runner.Job, parent *obs.ActiveSpan) *job {
 	s.nextSeq++
 	j := &job{
 		id:        fmt.Sprintf("j-%08d", s.nextSeq),
@@ -548,6 +584,22 @@ func (s *Server) enqueueLocked(t *tenantState, req JobRequest, rjob runner.Job) 
 		terminal:  make(chan struct{}),
 		subs:      make(map[chan Event]struct{}),
 	}
+	if parent != nil {
+		j.span = parent.StartChild("job " + j.id)
+	} else {
+		j.span = s.spans.StartRoot("job "+j.id, obs.SpanContext{})
+	}
+	j.span.SetAttr("job", j.id)
+	j.span.SetAttr("tenant", t.cfg.Name)
+	j.span.SetAttr("fingerprint", j.fp)
+	if req.Kernel != "" {
+		j.span.SetAttr("kernel", req.Kernel)
+	}
+	if req.TraceDigest != "" {
+		j.span.SetAttr("trace_digest", req.TraceDigest)
+	}
+	j.traceID = j.span.TraceID()
+	j.queueSpan = j.span.StartChild("queue.wait")
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.evictLocked()
@@ -696,12 +748,15 @@ func (s *Server) execute(j *job) {
 	s.fanoutAttach(j)
 	r := s.eng.Run([]runner.Job{j.rjob})[0]
 	s.fanoutDetach(j)
+	j.runSpan.SetAttr("via", r.Via.String())
+	j.runSpan.End()
 	t := j.tenant
 	if r.Err != nil {
 		s.failed.Add(1)
 		t.failed.Add(1)
 		s.logger.Warn("job failed",
-			"tenant", t.cfg.Name, "job", j.id, "fingerprint", j.fp, "via", r.Via.String(), "error", r.Err.Error())
+			"tenant", t.cfg.Name, "job", j.id, "fingerprint", j.fp, "via", r.Via.String(),
+			"trace_id", j.traceID, "error", r.Err.Error())
 	} else {
 		s.done.Add(1)
 		t.done.Add(1)
@@ -710,9 +765,15 @@ func (s *Server) execute(j *job) {
 		}
 		s.logger.Info("job done",
 			"tenant", t.cfg.Name, "job", j.id, "fingerprint", j.fp, "via", r.Via.String(),
+			"trace_id", j.traceID,
 			"cycles", r.Res.Cycles, "instructions", r.Res.Instructions)
 	}
 	j.finish(r.Res, r.Err)
+	// The duration histograms derive from the same span clock the trace
+	// endpoints expose, so the two observability surfaces cannot drift.
+	s.metrics.observeJob(r.Via.String(),
+		j.queueSpan.EndTime().Sub(j.queueSpan.StartTime()),
+		j.span.EndTime().Sub(j.span.StartTime()))
 }
 
 // fanout broadcasts core progress to the service jobs currently
@@ -726,6 +787,21 @@ func (f *fanout) add(j *job) {
 	f.mu.Lock()
 	f.jobs = append(f.jobs, j)
 	f.mu.Unlock()
+}
+
+// parentSpan returns the first attached job's run span — the parent
+// for the simulation's own spans. Reading j.runSpan here is safe: it
+// is assigned before fanoutAttach publishes the job, and both the add
+// and this read synchronize on f.mu.
+func (f *fanout) parentSpan() *obs.ActiveSpan {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, j := range f.jobs {
+		if j.runSpan != nil {
+			return j.runSpan
+		}
+	}
+	return nil
 }
 
 // remove drops j and returns the remaining count.
@@ -761,6 +837,17 @@ type job struct {
 	rjob     runner.Job
 	fp       string
 
+	// Tracing: span is the job's root (admission→terminal), queueSpan
+	// the queue.wait child, runSpan the job.run child the simulation's
+	// own spans parent under. span/queueSpan/traceID are assigned once
+	// at enqueue; runSpan once in setRunning, strictly before
+	// fanoutAttach publishes the job — readers reach it through the
+	// fanout's mutex, so no lock is needed on the field itself.
+	span      *obs.ActiveSpan
+	queueSpan *obs.ActiveSpan
+	runSpan   *obs.ActiveSpan
+	traceID   string
+
 	mu        sync.Mutex
 	state     string
 	res       stats.Results
@@ -791,6 +878,7 @@ func (j *job) status() JobStatus {
 		Seed:        j.req.Seed,
 		TraceDigest: j.req.TraceDigest,
 		Priority:    j.priority,
+		TraceID:     j.traceID,
 		SubmittedAt: j.submitted,
 		StartedAt:   j.started,
 		FinishedAt:  j.finished,
@@ -807,6 +895,8 @@ func (j *job) status() JobStatus {
 }
 
 func (j *job) setRunning() {
+	j.queueSpan.End()
+	j.runSpan = j.span.StartChild("job.run")
 	j.mu.Lock()
 	j.state = StateRunning
 	j.started = time.Now()
@@ -820,13 +910,16 @@ func (j *job) finish(res stats.Results, err error) {
 	if err != nil {
 		j.state = StateFailed
 		j.errMsg = err.Error()
+		j.span.SetAttr("error", j.errMsg)
 	} else {
 		j.state = StateDone
 		j.res = res
 		j.hasRes = true
 	}
+	j.span.SetAttr("state", j.state)
 	close(j.terminal)
 	j.mu.Unlock()
+	j.span.End()
 }
 
 // progress records a snapshot and broadcasts it to subscribers.
@@ -846,6 +939,7 @@ func (j *job) progress(p core.Progress) {
 // blocking: a slow events reader drops intermediate progress, never
 // stalls the simulation.
 func (j *job) broadcastLocked(ev Event) {
+	ev.TraceID = j.traceID
 	for ch := range j.subs {
 		select {
 		case ch <- ev:
@@ -873,7 +967,7 @@ func (j *job) unsubscribe(ch chan Event) {
 
 // snapshotEventLocked renders the job's current state as one event.
 func (j *job) snapshotEventLocked() Event {
-	ev := Event{State: j.state, Error: j.errMsg}
+	ev := Event{State: j.state, Error: j.errMsg, TraceID: j.traceID}
 	switch {
 	case j.hasRes:
 		ev.Cycles = j.res.Cycles

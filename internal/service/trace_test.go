@@ -1,0 +1,352 @@
+package service
+
+// Tracing-surface tests: W3C traceparent tolerance and continuation at
+// admission, the span timeline of a completed job, the /trace and
+// /tracez endpoints, span-derived job histograms on /metrics, and the
+// trace_id discipline of the request log (present on 4xx paths too).
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"clustervp/internal/config"
+	"clustervp/internal/obs"
+)
+
+// postJob submits one job over HTTP with optional traceparent and
+// returns the decoded status.
+func postJob(t *testing.T, ts *httptest.Server, traceparent string) (int, JobStatus) {
+	t.Helper()
+	body := `{"machine":{"clusters":"2"},"kernel":"rawcaudio"}`
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+// TestTraceparentContinuation: a valid inbound traceparent threads
+// through admission — the job's trace id IS the caller's trace id.
+func TestTraceparentContinuation(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	code, st := postJob(t, ts, "00-"+traceID+"-00f067aa0ba902b7-01")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit with traceparent = %d, want 202", code)
+	}
+	if st.TraceID != traceID {
+		t.Errorf("job trace id = %q, want the inbound %q", st.TraceID, traceID)
+	}
+	fin := waitJob(t, s, st.ID)
+	if fin.TraceID != traceID {
+		t.Errorf("terminal status trace id = %q, want %q", fin.TraceID, traceID)
+	}
+}
+
+// TestTraceparentMalformedTolerated: any malformed or foreign
+// traceparent starts a fresh root trace — never a 4xx, never an
+// adopted bogus id.
+func TestTraceparentMalformedTolerated(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, h := range []string{
+		"garbage",
+		"00-zzzz-yyyy-01",
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // forbidden version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // all-zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // missing flags
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // uppercase
+	} {
+		code, st := postJob(t, ts, h)
+		if code != http.StatusAccepted {
+			t.Errorf("traceparent %q: submit = %d, want 202 (malformed headers are tolerated)", h, code)
+			continue
+		}
+		if !strings.Contains(h, "4bf92f3577b34da6a3ce929d0e0e4736") {
+			// nothing to adopt — just require a well-formed fresh id
+		} else if st.TraceID == "4bf92f3577b34da6a3ce929d0e0e4736" {
+			t.Errorf("traceparent %q: bogus header's trace id was adopted", h)
+		}
+		if len(st.TraceID) != 32 {
+			t.Errorf("traceparent %q: job trace id %q is not 32 hex chars", h, st.TraceID)
+		}
+		waitJob(t, s, st.ID)
+	}
+}
+
+// TestJobTraceEndpoint: a finished job's timeline covers
+// admission→queue→run→sim under one trace id, queue wait bounded by
+// the total, in both formats; an unknown format is a 400 envelope.
+func TestJobTraceEndpoint(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st, err := s.Submit(JobRequest{Machine: config.MachineSpec{Clusters: "2"}, Kernel: "rawcaudio"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitJob(t, s, st.ID)
+	if fin.TraceID == "" {
+		t.Fatal("finished job has no trace id")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr TraceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if tr.TraceID != fin.TraceID || tr.Job != st.ID || tr.State != StateDone {
+		t.Errorf("trace header = %+v, want trace %s job %s done", tr, fin.TraceID, st.ID)
+	}
+	byName := map[string]obs.Span{}
+	var jobSpan, queueSpan obs.Span
+	for _, sp := range tr.Spans {
+		if sp.TraceID != tr.TraceID {
+			t.Errorf("span %q carries trace %s, want %s", sp.Name, sp.TraceID, tr.TraceID)
+		}
+		byName[sp.Name] = sp
+		switch {
+		case strings.HasPrefix(sp.Name, "job j-"):
+			jobSpan = sp
+		case sp.Name == "queue.wait":
+			queueSpan = sp
+		}
+	}
+	for _, want := range []string{"queue.wait", "job.run", "sim.materialize", "sim.run", "sim.warmup"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("timeline is missing a %q span; have %v", want, keys(byName))
+		}
+	}
+	if jobSpan.SpanID == "" {
+		t.Fatalf("no job root span in %v", keys(byName))
+	}
+	if queueSpan.ParentID != jobSpan.SpanID {
+		t.Errorf("queue.wait parent = %s, want the job span %s", queueSpan.ParentID, jobSpan.SpanID)
+	}
+	if queueSpan.DurUS > jobSpan.DurUS {
+		t.Errorf("queue wait %dus exceeds job total %dus", queueSpan.DurUS, jobSpan.DurUS)
+	}
+	if via := byName["job.run"].Attrs["via"]; via == "" {
+		t.Error("job.run span has no via attribute")
+	}
+
+	// format=chrome parses as a Chrome trace with complete events.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/trace?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&chrome); err != nil {
+		t.Fatalf("chrome format does not parse: %v", err)
+	}
+	resp.Body.Close()
+	complete := 0
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph == "X" {
+			complete++
+		}
+	}
+	if complete < len(tr.Spans) {
+		t.Errorf("chrome trace has %d complete events for %d spans", complete, len(tr.Spans))
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/trace?format=svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown format = %d, want 400", resp.StatusCode)
+	}
+}
+
+func keys(m map[string]obs.Span) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestTracezEndpoint: the ring lists recent spans, filters by
+// trace_id, and rejects a bad limit.
+func TestTracezEndpoint(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st, err := s.Submit(JobRequest{Machine: config.MachineSpec{Clusters: "2"}, Kernel: "rawcaudio"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitJob(t, s, st.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/tracez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tz TracezResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if tz.Service != "clusterd" || tz.Retained == 0 || len(tz.Spans) == 0 {
+		t.Errorf("tracez = service %q retained %d spans %d", tz.Service, tz.Retained, len(tz.Spans))
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/tracez?trace_id=" + fin.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(tz.Spans) == 0 {
+		t.Fatalf("trace_id filter returned nothing for %s", fin.TraceID)
+	}
+	for _, sp := range tz.Spans {
+		if sp.TraceID != fin.TraceID {
+			t.Errorf("filtered span %q has trace %s, want %s", sp.Name, sp.TraceID, fin.TraceID)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/tracez?limit=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad limit = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestJobHistogramsOnMetrics: finishing a job populates the
+// span-derived duration and queue-wait histograms, labelled by via.
+func TestJobHistogramsOnMetrics(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st, err := s.Submit(JobRequest{Machine: config.MachineSpec{Clusters: "2"}, Kernel: "rawcaudio"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, s, st.ID)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(data)
+	for _, want := range []string{
+		`clusterd_job_duration_seconds_count{via="simulated"} 1`,
+		`clusterd_queue_wait_seconds_count{via="simulated"} 1`,
+		`clusterd_job_duration_seconds_bucket{via="simulated",le="+Inf"} 1`,
+		"clusterd_job_duration_seconds_sum",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics is missing %q", want)
+		}
+	}
+}
+
+// TestRequestLogCarriesTraceID: every instrumented request — the happy
+// path and the 4xx envelope path alike — logs trace_id and request_id.
+func TestRequestLogCarriesTraceID(t *testing.T) {
+	var buf strings.Builder
+	var mu sync.Mutex
+	logger := slog.New(slog.NewTextHandler(lockedWriter{&mu, &buf}, nil))
+	s := newTestServer(t, func(o *Options) { o.Logger = logger })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	code, st := postJob(t, ts, "00-"+traceID+"-00f067aa0ba902b7-01")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	waitJob(t, s, st.ID)
+
+	// A 4xx envelope path is still instrumented.
+	resp, err := http.Get(ts.URL + "/v1/jobs/j-99999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job = %d, want 404", resp.StatusCode)
+	}
+
+	mu.Lock()
+	logs := buf.String()
+	mu.Unlock()
+	if !strings.Contains(logs, "trace_id="+traceID) {
+		t.Errorf("request log never mentions the continued trace id %s:\n%s", traceID, logs)
+	}
+	notFoundLine := ""
+	for _, line := range strings.Split(logs, "\n") {
+		if strings.Contains(line, "status=404") {
+			notFoundLine = line
+		}
+	}
+	if notFoundLine == "" {
+		t.Fatalf("no 404 request log line:\n%s", logs)
+	}
+	if !strings.Contains(notFoundLine, "trace_id=") || !strings.Contains(notFoundLine, "request_id=") {
+		t.Errorf("404 log line lacks trace_id/request_id: %s", notFoundLine)
+	}
+}
+
+// lockedWriter serializes handler writes so the test can read the
+// buffer without racing the server goroutines.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (lw lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
